@@ -1,0 +1,35 @@
+# Convenience targets for the MLP-aware cache replacement reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-fast examples lint clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full-scale regeneration of every table and figure (~10 minutes).
+experiments:
+	$(PYTHON) -m repro.experiments
+
+# Quick regeneration at reduced trace scale (~2 minutes).
+experiments-fast:
+	REPRO_SCALE=0.25 $(PYTHON) -m repro.experiments
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/pointer_chasing.py
+	$(PYTHON) examples/adaptive_phases.py
+	$(PYTHON) examples/custom_care_policy.py
+	$(PYTHON) examples/wrong_path_injection.py
+	$(PYTHON) examples/workload_analysis.py
+	$(PYTHON) examples/figure1_walkthrough.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

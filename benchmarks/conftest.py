@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Every table and figure of the paper has a regeneration benchmark here.
+``REPRO_BENCH_SCALE`` controls the trace length (default 0.2 so the
+whole suite finishes in a few minutes; use 1.0 to regenerate the
+full-quality numbers reported in EXPERIMENTS.md — or run
+``python -m repro.experiments`` directly).
+
+Each benchmark prints its experiment report, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates all the paper's
+rows/series while timing them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.runner import clear_cache
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture
+def experiment_runner(capsys):
+    """Run one experiment module once, print its report, time it."""
+
+    def run(module, benchmarks=None, scale=None):
+        clear_cache()
+        report = module.run(
+            scale=bench_scale() if scale is None else scale,
+            benchmarks=benchmarks,
+        )
+        with capsys.disabled():
+            print()
+            print(report.render())
+        return report
+
+    return run

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the calibration scorecard."""
+
+from repro.experiments import calibration
+
+
+def test_calibration(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(calibration), rounds=1, iterations=1
+    )
+    assert "sign" in report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the Section 6.6 SBAR-vs-CBS comparison."""
+
+from repro.experiments import cbs_comparison
+
+
+def test_cbs_comparison(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(cbs_comparison), rounds=1, iterations=1
+    )
+    assert report.render()

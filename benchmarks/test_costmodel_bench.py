@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the first-order cost-model validation."""
+
+from repro.experiments import cost_validation
+
+
+def test_costmodel(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(cost_validation), rounds=1, iterations=1
+    )
+    assert "CPI (model)" in report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the dip extension experiment."""
+
+from repro.experiments import dip_comparison
+
+
+def test_dip(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(dip_comparison), rounds=1, iterations=1
+    )
+    assert report.render()

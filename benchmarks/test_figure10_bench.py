@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure10 of the paper."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure10), rounds=1, iterations=1
+    )
+    assert report.render()

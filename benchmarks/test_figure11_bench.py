@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure11 of the paper."""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure11), rounds=1, iterations=1
+    )
+    assert report.render()

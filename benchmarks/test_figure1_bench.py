@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure1 of the paper."""
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure1), rounds=1, iterations=1
+    )
+    assert report.render()

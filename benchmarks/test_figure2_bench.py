@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure2 of the paper."""
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure2), rounds=1, iterations=1
+    )
+    assert report.render()

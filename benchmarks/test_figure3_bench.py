@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure3 of the paper."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure3), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure4 of the paper."""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure4), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure5 of the paper."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure5), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure8 of the paper."""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure8), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for figure9 of the paper."""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(figure9), rounds=1, iterations=1
+    )
+    assert report.render()

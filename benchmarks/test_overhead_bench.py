@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the SBAR hardware-overhead accounting."""
+
+from repro.experiments import overhead
+
+
+def test_overhead(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(overhead), rounds=1, iterations=1
+    )
+    assert "1854" in report.render()

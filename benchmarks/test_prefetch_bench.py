@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the prefetch extension experiment."""
+
+from repro.experiments import prefetch_interaction
+
+
+def test_prefetch(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(prefetch_interaction), rounds=1, iterations=1
+    )
+    assert report.render()

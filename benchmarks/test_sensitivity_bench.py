@@ -1,0 +1,10 @@
+"""Regeneration benchmark for the sensitivity extension experiment."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(sensitivity), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the simulator substrates.
+
+These time the hot components in isolation (cache tag path, MSHR cost
+sweep, window model, trace generation, end-to-end simulation rate) so
+performance regressions in the simulator itself are visible.
+"""
+
+import random
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.config import CacheGeometry, MemoryConfig
+from repro.cpu.window import WindowModel
+from repro.memory.controller import MemoryController
+from repro.mlp.mshr import MSHRFile
+from repro.sim.simulator import Simulator
+from repro.workloads import build_trace, experiment_config
+
+_GEOMETRY = CacheGeometry(256 * 1024, 64, 16, 15)
+
+
+def _block_stream(n, spread):
+    rng = random.Random(7)
+    return [rng.randrange(spread) for _ in range(n)]
+
+
+def test_cache_lru_access_rate(benchmark):
+    blocks = _block_stream(20_000, 8_000)
+
+    def run():
+        cache = SetAssociativeCache(_GEOMETRY, LRUPolicy())
+        for block in blocks:
+            cache.access(block)
+        return cache.misses
+
+    assert benchmark(run) > 0
+
+
+def test_cache_lin_access_rate(benchmark):
+    blocks = _block_stream(20_000, 8_000)
+
+    def run():
+        cache = SetAssociativeCache(_GEOMETRY, LINPolicy(4))
+        for block in blocks:
+            cache.access(block)
+        return cache.misses
+
+    assert benchmark(run) > 0
+
+
+def test_mshr_sweep_rate(benchmark):
+    def run():
+        mshr = MSHRFile(32)
+        time = 0.0
+        for index in range(10_000):
+            time += 3.0
+            mshr.allocate(index, time, time + 444.0)
+        mshr.drain()
+        return mshr.allocations
+
+    assert benchmark(run) == 10_000
+
+
+def test_window_model_rate(benchmark):
+    def run():
+        window = WindowModel()
+        for _ in range(20_000):
+            t = window.advance(40)
+            window.complete_memory_op(t + 444)
+        return window.finish()
+
+    assert benchmark(run) > 0
+
+
+def test_memory_controller_rate(benchmark):
+    def run():
+        controller = MemoryController(MemoryConfig())
+        time = 0.0
+        for block in range(10_000):
+            time += 5.0
+            controller.read_line(block, time)
+        return controller.requests
+
+    assert benchmark(run) == 10_000
+
+
+def test_trace_generation_rate(benchmark):
+    result = benchmark(lambda: build_trace("mcf", scale=0.3))
+    assert len(result) > 10_000
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    trace = build_trace("mcf", scale=0.2)
+
+    def run():
+        return Simulator(experiment_config(), "lru").run(trace).demand_misses
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for table1 of the paper."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(table1), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for table2 of the paper."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(table2), rounds=1, iterations=1
+    )
+    assert report.render()

@@ -1,0 +1,10 @@
+"""Regeneration benchmark for table3 of the paper."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, experiment_runner):
+    report = benchmark.pedantic(
+        lambda: experiment_runner(table3), rounds=1, iterations=1
+    )
+    assert report.render()

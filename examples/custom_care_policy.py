@@ -1,0 +1,75 @@
+"""Plugging a custom cost-sensitive engine into CARE.
+
+Figure 3(a) of the paper frames replacement as a pluggable Cost Aware
+Replacement Engine: "CARE can consist of any generic cost-sensitive
+scheme".  This example implements a new policy — a *cost-biased random*
+scheme that evicts a uniformly random block among those below a cost_q
+threshold — and races it against LRU and LIN on the mcf surrogate.
+
+Run::
+
+    python examples/custom_care_policy.py
+"""
+
+import random
+
+from repro import Simulator, build_trace, experiment_config
+from repro.cache.replacement import ReplacementPolicy
+from repro.cache.sets import CacheSet
+
+
+class CostBiasedRandomPolicy(ReplacementPolicy):
+    """Evict a random block among the cheap ones.
+
+    Blocks with ``cost_q >= threshold`` are shielded from eviction
+    unless the whole set is expensive, in which case the policy
+    degenerates to plain random.
+    """
+
+    def __init__(self, threshold: int = 4, seed: int = 0) -> None:
+        self.threshold = threshold
+        self.name = "cost-biased-random(%d)" % threshold
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, cache_set: CacheSet) -> int:
+        cheap = [
+            position
+            for position, state in enumerate(cache_set.ways)
+            if state.cost_q < self.threshold
+        ]
+        candidates = cheap or list(range(len(cache_set.ways)))
+        return self._rng.choice(candidates)
+
+
+def main() -> None:
+    policies = [
+        "lru",
+        "lin(4)",
+        CostBiasedRandomPolicy(threshold=4),
+        CostBiasedRandomPolicy(threshold=7),
+    ]
+    baseline_ipc = None
+    print("policy                      IPC     misses   long-stalls")
+    for policy in policies:
+        simulator = Simulator(experiment_config(), policy)
+        result = simulator.run(build_trace("mcf", scale=0.5))
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        print(
+            "%-24s %7.4f  %8d  %10d   (%+.1f%% vs LRU)"
+            % (
+                result.policy_name,
+                result.ipc,
+                result.demand_misses,
+                result.long_stalls,
+                100 * (result.ipc - baseline_ipc) / baseline_ipc,
+            )
+        )
+    print(
+        "\nAny ReplacementPolicy subclass that reads cost_q from the tag\n"
+        "entries is a valid CARE engine; LIN is just the paper's choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

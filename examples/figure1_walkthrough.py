@@ -1,0 +1,86 @@
+"""Step-by-step walkthrough of the paper's Figure 1 example.
+
+Replays one steady-state iteration of the P/S loop on the four-block
+fully-associative cache under Belady's OPT, the MLP-aware LIN policy,
+and LRU, printing the hit/miss outcome and cache contents after every
+access — the same timeline the paper draws in Figures 1(b) and 1(c).
+
+Run::
+
+    python examples/figure1_walkthrough.py
+"""
+
+from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.cache.replacement.belady import (
+    BeladyPolicy,
+    collapse_consecutive,
+    next_use_distances,
+)
+from repro.experiments.figure1 import figure1_config
+from repro.sim.simulator import Simulator
+from repro.trace.figure1 import block_names, figure1_trace
+
+ITERATIONS = 8  # warm up, then show the final iteration
+ACCESSES_PER_ITERATION = 11
+
+
+def build_policy(name: str):
+    if name == "belady":
+        raw = [a.address // 64 for a in figure1_trace(ITERATIONS)]
+        visible = collapse_consecutive(raw)
+        return BeladyPolicy(next_use_distances(visible), expected_blocks=visible)
+    if name == "mlp-aware (lin)":
+        return LINPolicy(4)
+    return LRUPolicy()
+
+
+def walkthrough(policy_name: str) -> None:
+    simulator = Simulator(figure1_config(), build_policy(policy_name))
+    names = block_names()
+    timeline = []
+    original_access = simulator.l2.access
+
+    def recording_access(block, is_write=False):
+        result = original_access(block, is_write)
+        contents = [
+            names[way.block * 64]
+            for way in simulator.l2.set_state(0).ways
+        ]
+        timeline.append(
+            (names[block * 64], "hit " if result.hit else "MISS", contents)
+        )
+        return result
+
+    simulator.l2.access = recording_access
+    result = simulator.run(figure1_trace(ITERATIONS))
+
+    print("\n== %s ==" % policy_name)
+    # The L1 filters the repeated P4/P1 at segment joins, so one
+    # iteration is 9 L2 accesses; show the last full iteration.
+    last_iteration = timeline[-9:]
+    for block, outcome, contents in last_iteration:
+        print("  access %-3s %s   cache: [%s]" % (block, outcome, ", ".join(contents)))
+    misses = sum(1 for _, outcome, _ in last_iteration if outcome == "MISS")
+    print(
+        "  -> %d misses this iteration; %d long-latency stalls over the "
+        "whole run" % (misses, result.long_stalls)
+    )
+
+
+def main() -> None:
+    print(
+        "One loop iteration touches: P1 P2 P3 P4 | P4 P3 P2 P1 | S1 S2 S3\n"
+        "(P bursts overlap in the instruction window; S accesses are\n"
+        "isolated).  Four-block fully-associative cache, as in Figure 1."
+    )
+    for policy_name in ("belady", "mlp-aware (lin)", "lru"):
+        walkthrough(policy_name)
+    print(
+        "\nOPT minimizes misses (4/iteration) but stalls four times; the\n"
+        "MLP-aware policy takes six misses but its P misses overlap, so\n"
+        "it stalls only twice.  Fewer misses != fewer stalls."
+    )
+
+
+if __name__ == "__main__":
+    main()

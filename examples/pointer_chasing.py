@@ -1,0 +1,81 @@
+"""The paper's motivating scenario, built from raw trace primitives.
+
+A linked-list traversal (isolated misses — "misses due to
+pointer-chasing loads") shares the cache with array sweeps (parallel
+misses — "misses due to array accesses").  Under LRU the array stream
+flushes the list nodes, so every list hop stalls the core for the full
+444-cycle memory latency.  LIN keeps the list resident at the price of
+extra — cheap, overlapped — array misses.
+
+This is Figure 1 scaled up to a realistic set-associative cache, built
+directly with :class:`repro.trace.TraceBuilder` rather than the
+workload generators, to show the low-level tracing API.
+
+Run::
+
+    python examples/pointer_chasing.py
+"""
+
+from repro import Simulator, experiment_config
+from repro.trace import TraceBuilder
+
+LIST_NODES = 256        # linked-list working set (blocks)
+ARRAY_BLOCKS = 9000     # array working set, larger than the 4096-block L2
+ARRAY_BURSTS_PER_LAP = 600  # 4800 blocks/lap: floods every cache set
+LAPS = 12
+
+
+def build_workload() -> list:
+    """Alternate list traversals with array sweeps."""
+    builder = TraceBuilder(seed=42)
+    array_cursor = 0
+    for _ in range(LAPS):
+        # Traverse the list: each hop depends on the last, so the gap
+        # exceeds the 128-entry window and misses isolate.
+        for node in range(LIST_NODES):
+            builder.isolated(1_000_000 + node)
+            builder.quiet(200)
+        # Sweep a chunk of the array in bursts of 8 independent loads.
+        for _ in range(ARRAY_BURSTS_PER_LAP):
+            start = array_cursor
+            array_cursor = (array_cursor + 8) % ARRAY_BLOCKS
+            builder.burst(
+                [start + i for i in range(8)], lead_gap=180
+            )
+    return builder.build()
+
+
+def main() -> None:
+    results = {}
+    for policy in ("lru", "lin(4)"):
+        simulator = Simulator(experiment_config(), policy)
+        results[policy] = simulator.run(build_workload())
+
+    lru, lin = results["lru"], results["lin(4)"]
+    print("policy     IPC     misses  long-stalls  avg-mlp-cost")
+    for name, result in results.items():
+        print(
+            "%-8s %6.4f  %7d  %11d  %9.0f"
+            % (
+                name,
+                result.ipc,
+                result.demand_misses,
+                result.long_stalls,
+                result.avg_mlp_cost,
+            )
+        )
+
+    saved = lru.long_stalls - lin.long_stalls
+    extra = lin.demand_misses - lru.demand_misses
+    print(
+        "\nLIN eliminated %d long-latency stalls (misses %+d, IPC %+.1f%%)."
+        % (saved, extra, 100 * (lin.ipc - lru.ipc) / lru.ipc)
+    )
+    print(
+        "Every stall saved was a full 444-cycle list hop; any misses LIN\n"
+        "trades for them are array misses serviced in parallel."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: compare LRU, LIN, and SBAR on one benchmark surrogate.
+
+Run::
+
+    python examples/quickstart.py [benchmark] [scale]
+
+Builds the mcf surrogate (pointer-chasing with parallelism-2 bursts),
+simulates it on the Table 2 machine under the three policies of the
+paper, and prints IPC, misses, and the mlp-cost distribution.
+"""
+
+import sys
+
+from repro import BENCHMARKS, Simulator, build_trace, experiment_config
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if benchmark not in BENCHMARKS:
+        raise SystemExit(
+            "unknown benchmark %r; choose from %s" % (benchmark, BENCHMARKS)
+        )
+
+    print("benchmark: %s (scale %.2f)" % (benchmark, scale))
+    results = {}
+    for policy in ("lru", "lin(4)", "sbar"):
+        trace = build_trace(benchmark, scale=scale)
+        results[policy] = Simulator(experiment_config(), policy).run(trace)
+        print("  " + results[policy].summary_line())
+
+    baseline = results["lru"]
+    print("\nIPC improvement over LRU:")
+    for policy in ("lin(4)", "sbar"):
+        delta = 100 * (results[policy].ipc - baseline.ipc) / baseline.ipc
+        print("  %-8s %+6.1f%%" % (policy, delta))
+
+    print("\nmlp-cost distribution (%% of misses per 60-cycle bucket):")
+    labels = ["0-59", "60-119", "120-179", "180-239",
+              "240-299", "300-359", "360-419", "420+"]
+    for policy in ("lru", "lin(4)"):
+        percentages = results[policy].cost_distribution.percentages
+        row = "  ".join(
+            "%s:%4.1f" % (label, pct)
+            for label, pct in zip(labels, percentages)
+        )
+        print("  %-8s %s" % (policy, row))
+
+
+if __name__ == "__main__":
+    main()

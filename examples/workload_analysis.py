@@ -1,0 +1,78 @@
+"""Dissecting a workload with the analysis toolkit.
+
+Three lenses on the mcf surrogate:
+
+1. **Reuse-distance profile** — predicts the LRU miss rate at any cache
+   size from one pass over the trace (Mattson's stack algorithm) and
+   shows why the isolated pool is savable: its reuse distance sits just
+   above the per-set capacity.
+2. **Per-class attribution** — which traffic class's misses does LIN
+   actually eliminate?
+3. **First-order CPI model** — confirms that the summed mlp-cost
+   accounts for the run's memory stall time (Section 3's premise).
+
+Run::
+
+    python examples/workload_analysis.py
+"""
+
+from repro import Simulator, build_trace, experiment_config
+from repro.analysis import (
+    attach_classifier,
+    predict_cycles,
+    reuse_distance_profile,
+    snapshot_cache,
+)
+
+BENCHMARK = "mcf"
+SCALE = 0.4
+
+
+def main() -> None:
+    trace = build_trace(BENCHMARK, scale=SCALE)
+    config = experiment_config()
+
+    print("== reuse-distance profile (%s, %d accesses) ==" % (BENCHMARK, len(trace)))
+    profile = reuse_distance_profile(trace)
+    for capacity in (256, 1024, 4096, 16384):
+        print(
+            "  predicted LRU miss rate at %6d blocks: %5.1f%%"
+            % (capacity, 100 * profile.miss_rate_at(capacity))
+        )
+    print("  median reuse distance: %d blocks" % profile.percentile(0.5))
+
+    print("\n== per-class miss attribution ==")
+    for policy in ("lru", "lin(4)"):
+        simulator = Simulator(config, policy)
+        run = attach_classifier(simulator)
+        result = simulator.run(build_trace(BENCHMARK, scale=SCALE))
+        print("  %s (IPC %.4f):" % (policy, result.ipc))
+        print("    %-10s %9s %9s %7s %9s" % ("class", "accesses", "misses", "hit%", "avg cost"))
+        for row in run.table():
+            print("    %-10s %9s %9s %7s %9s" % row)
+        snapshot = snapshot_cache(simulator.l2)
+        print(
+            "    resident blocks at cost_q=7: %.0f%%"
+            % (100 * snapshot.fraction_at_cost(7))
+        )
+
+        breakdown = predict_cycles(result, config.processor.issue_width)
+        print(
+            "    first-order model: CPI %.3f vs simulated %.3f (%.1f%% error,"
+            " %d%% of time is memory stalls)"
+            % (
+                breakdown.predicted_cpi,
+                breakdown.measured_cpi,
+                100 * abs(breakdown.prediction_error),
+                round(100 * breakdown.memory_stall_fraction),
+            )
+        )
+
+    print(
+        "\nUnder LIN the 'isolated' class flips from ~0% to ~90% hits —\n"
+        "those are the 444-cycle misses the paper's policy exists to save."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments without the wheel package (legacy editable install)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: a reproduction of "A Case for MLP-Aware Cache Replacement".
+
+Qureshi, Lynch, Mutlu, Patt — TR-HPS-2006-3 / ISCA 2006.
+
+Quickstart::
+
+    from repro import Simulator, build_trace, experiment_config
+
+    trace = build_trace("mcf")
+    lru = Simulator(experiment_config(), "lru").run(trace)
+    lin = Simulator(experiment_config(), "lin(4)").run(build_trace("mcf"))
+    print(lru.ipc, lin.ipc)
+
+The package layers, bottom up:
+
+* :mod:`repro.trace`, :mod:`repro.workloads` — access traces and the
+  SPEC CPU2000 surrogates.
+* :mod:`repro.memory`, :mod:`repro.cache`, :mod:`repro.mlp`,
+  :mod:`repro.cpu` — the substrates: DRAM/bus, tag stores and
+  replacement policies, the MSHR with Algorithm 1, and the
+  out-of-order window model.
+* :mod:`repro.sbar` — the adaptive mechanisms (CBS, SBAR) and the
+  analytical sampling model.
+* :mod:`repro.sim` — the top-level simulator.
+* :mod:`repro.experiments` — one module per table/figure of the paper
+  (also a CLI: ``python -m repro.experiments``).
+"""
+
+from repro.config import MachineConfig, baseline_config, scaled_config
+from repro.sim import Simulator, SimResult, build_l2_policy
+from repro.workloads import BENCHMARKS, build_trace, experiment_config
+from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.sbar import CBSController, SBARController
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "MachineConfig",
+    "baseline_config",
+    "scaled_config",
+    "build_l2_policy",
+    "build_trace",
+    "experiment_config",
+    "BENCHMARKS",
+    "LRUPolicy",
+    "LINPolicy",
+    "SBARController",
+    "CBSController",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis toolkit: instrumentation used to understand simulations.
+
+* :mod:`repro.analysis.attribution` — attach per-traffic-class miss
+  accounting to a simulator (which pool's misses did LIN save?).
+* :mod:`repro.analysis.reuse` — reuse-distance (LRU stack distance)
+  profiling of traces, including the classic one-pass histogram and
+  the implied miss rate for any cache size.
+* :mod:`repro.analysis.residency` — snapshot statistics of what is
+  resident in a cache (cost_q composition, per-set occupancy).
+"""
+
+from repro.analysis.attribution import ClassifiedRun, attach_classifier
+from repro.analysis.reuse import ReuseProfile, reuse_distance_profile
+from repro.analysis.residency import ResidencySnapshot, snapshot_cache
+from repro.analysis.firstorder import CPIBreakdown, predict_cycles
+
+__all__ = [
+    "attach_classifier",
+    "ClassifiedRun",
+    "reuse_distance_profile",
+    "ReuseProfile",
+    "snapshot_cache",
+    "ResidencySnapshot",
+    "predict_cycles",
+    "CPIBreakdown",
+]

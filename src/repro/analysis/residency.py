@@ -1,0 +1,69 @@
+"""Residency snapshots: what is sitting in the cache right now.
+
+Used by tests and by the case-study analysis (Section 7.1) to inspect
+the cost_q composition of the resident blocks — e.g., confirming that
+under LIN the sets fill with maximal-cost blocks on the poisoned
+benchmarks while LRU keeps the recency-hot working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cache.cache import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class ResidencySnapshot:
+    """Point-in-time summary of a cache's contents."""
+
+    n_resident: int
+    capacity: int
+    cost_q_histogram: Dict[int, int]
+    dirty_blocks: int
+    per_set_occupancy: List[int]
+
+    @property
+    def occupancy(self) -> float:
+        if not self.capacity:
+            return 0.0
+        return self.n_resident / self.capacity
+
+    @property
+    def avg_cost_q(self) -> float:
+        if not self.n_resident:
+            return 0.0
+        weighted = sum(
+            cost * count for cost, count in self.cost_q_histogram.items()
+        )
+        return weighted / self.n_resident
+
+    def fraction_at_cost(self, cost_q: int) -> float:
+        """Share of resident blocks carrying a given cost_q."""
+        if not self.n_resident:
+            return 0.0
+        return self.cost_q_histogram.get(cost_q, 0) / self.n_resident
+
+
+def snapshot_cache(cache: SetAssociativeCache) -> ResidencySnapshot:
+    """Capture a residency snapshot of a tag store."""
+    histogram: Dict[int, int] = {}
+    dirty = 0
+    per_set: List[int] = []
+    total = 0
+    for set_index in range(cache.n_sets):
+        ways = cache.set_state(set_index).ways
+        per_set.append(len(ways))
+        total += len(ways)
+        for state in ways:
+            histogram[state.cost_q] = histogram.get(state.cost_q, 0) + 1
+            if state.dirty:
+                dirty += 1
+    return ResidencySnapshot(
+        n_resident=total,
+        capacity=cache.geometry.n_blocks,
+        cost_q_histogram=histogram,
+        dirty_blocks=dirty,
+        per_set_occupancy=per_set,
+    )

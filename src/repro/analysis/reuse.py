@@ -1,0 +1,116 @@
+"""Reuse-distance (LRU stack distance) profiling.
+
+The reuse distance of an access is the number of *distinct* blocks
+touched since the previous access to the same block.  Under a
+fully-associative LRU cache of capacity C, an access hits iff its
+reuse distance is < C — so one histogram predicts the LRU miss rate at
+every cache size (Mattson's stack algorithm).
+
+This is the lens used to design the surrogate workloads: savable
+isolated pools have reuse distances just above the per-set capacity,
+thrash pools far above it, and recency-friendly pools below it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.trace.record import Access
+
+#: Reuse distance of a first touch.
+COLD = -1
+
+
+class _StackDistance:
+    """O(N log N) stack-distance computation via an order list.
+
+    Keeps the blocks in recency order in a sorted list of last-access
+    timestamps; the distance of an access is the number of timestamps
+    newer than the block's previous one.
+    """
+
+    def __init__(self) -> None:
+        self._last_time: Dict[int, int] = {}
+        self._times: List[int] = []  # sorted last-access times of all blocks
+        self._clock = 0
+
+    def access(self, block: int) -> int:
+        previous = self._last_time.get(block)
+        if previous is None:
+            distance = COLD
+        else:
+            position = bisect.bisect_left(self._times, previous)
+            distance = len(self._times) - position - 1
+            del self._times[position]
+        self._times.append(self._clock)
+        self._last_time[block] = self._clock
+        self._clock += 1
+        return distance
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Histogram of reuse distances for one trace."""
+
+    distances: Sequence[int]
+    cold_accesses: int
+
+    @property
+    def total_accesses(self) -> int:
+        return len(self.distances) + self.cold_accesses
+
+    def miss_rate_at(self, capacity_blocks: int) -> float:
+        """Predicted fully-associative LRU miss rate at a capacity.
+
+        Cold accesses always miss; a reuse hits iff distance < C.
+        """
+        if self.total_accesses == 0:
+            return 0.0
+        misses = self.cold_accesses + sum(
+            1 for distance in self.distances if distance >= capacity_blocks
+        )
+        return misses / self.total_accesses
+
+    def percentile(self, fraction: float) -> int:
+        """Reuse distance below which ``fraction`` of reuses fall."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self.distances:
+            return 0
+        ordered = sorted(self.distances)
+        index = min(
+            len(ordered) - 1, int(fraction * len(ordered))
+        )
+        return ordered[index]
+
+    def histogram(self, bucket_edges: Sequence[int]):
+        """Counts of reuses per [edge_i, edge_i+1) bucket plus overflow."""
+        counts = [0] * (len(bucket_edges))
+        for distance in self.distances:
+            placed = False
+            for index in range(len(bucket_edges) - 1):
+                if bucket_edges[index] <= distance < bucket_edges[index + 1]:
+                    counts[index] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[-1] += 1
+        return counts
+
+
+def reuse_distance_profile(
+    trace: Iterable[Access], line_bytes: int = 64
+) -> ReuseProfile:
+    """Profile a trace's block-level reuse distances."""
+    stack = _StackDistance()
+    distances: List[int] = []
+    cold = 0
+    for access in trace:
+        distance = stack.access(access.address // line_bytes)
+        if distance == COLD:
+            cold += 1
+        else:
+            distances.append(distance)
+    return ReuseProfile(distances=tuple(distances), cold_accesses=cold)

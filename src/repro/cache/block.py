@@ -1,0 +1,39 @@
+"""Tag-store entry state.
+
+Figure 3(a) extends each tag entry with the quantized MLP-based cost of
+the miss that brought the block in; :class:`BlockState` is that entry.
+"""
+
+from __future__ import annotations
+
+
+class BlockState:
+    """One tag-store entry.
+
+    Attributes:
+        block: full cache-block number (tag and index combined; keeping
+            the whole number is simpler in a simulator and loses no
+            information).
+        dirty: set by stores; a dirty victim generates a writeback.
+        cost_q: 3-bit quantized mlp-cost (Figure 3b) written when the
+            miss that fetched this block was serviced.  New fills start
+            at 0 and are patched by the MSHR's completion callback.
+        fill_seq: access sequence number of the fill, used by FIFO.
+        next_use: position of the block's next access, maintained only
+            when a Belady policy drives the cache.
+    """
+
+    __slots__ = ("block", "dirty", "cost_q", "fill_seq", "next_use")
+
+    def __init__(self, block: int, fill_seq: int = 0) -> None:
+        self.block = block
+        self.dirty = False
+        self.cost_q = 0
+        self.fill_seq = fill_seq
+        self.next_use = 0
+
+    def __repr__(self) -> str:
+        flags = "D" if self.dirty else "-"
+        return "BlockState(0x%x %s cost_q=%d)" % (
+            self.block, flags, self.cost_q
+        )

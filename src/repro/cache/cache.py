@@ -1,0 +1,163 @@
+"""The set-associative tag store (MTD of Figure 3a).
+
+The cache operates on *block numbers* (byte address divided by line
+size); the hierarchy layer does the division.  Because this is a timing
+simulator, no data is stored — the cache is exactly the paper's "tag
+directory", which is also why the same class implements the ATDs.
+
+Per-set replacement is delegated to a policy object; a *policy
+selector* callable can override the policy per set, which is how SBAR
+makes leader sets run LIN while follower sets obey the PSEL counter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.cache.block import BlockState
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.sets import CacheSet
+from repro.config import CacheGeometry
+
+
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: whether the block was resident.
+        state: the tag entry touched (on hit) or installed (on miss).
+            The simulator patches ``state.cost_q`` when the miss's
+            mlp-cost is serviced.
+        set_index: the set the access mapped to.
+        victim_block: block number evicted to make room, or None.
+        victim_dirty: whether the victim needs a writeback.
+        compulsory: True when the block was never seen before (cold
+            miss); used for the Table 3 compulsory-miss percentages.
+    """
+
+    __slots__ = (
+        "hit", "state", "set_index", "victim_block", "victim_dirty",
+        "compulsory",
+    )
+
+    def __init__(self, hit: bool, state: BlockState, set_index: int) -> None:
+        self.hit = hit
+        self.state = state
+        self.set_index = set_index
+        self.victim_block: Optional[int] = None
+        self.victim_dirty = False
+        self.compulsory = False
+
+
+class SetAssociativeCache:
+    """Tag store with pluggable replacement.
+
+    Args:
+        geometry: size/line/associativity description.
+        policy: default replacement policy for every set.
+        policy_selector: optional ``set_index -> policy`` override used
+            by adaptive schemes (SBAR); when provided it wins over
+            ``policy``.
+        track_compulsory: record first-touch blocks so results can be
+            classified as compulsory misses (Table 3).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        policy_selector: Optional[Callable[[int], ReplacementPolicy]] = None,
+        track_compulsory: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.policy_selector = policy_selector
+        self.n_sets = geometry.n_sets
+        self._sets: List[CacheSet] = [
+            CacheSet(geometry.associativity) for _ in range(self.n_sets)
+        ]
+        self._seen: Optional[Set[int]] = set() if track_compulsory else None
+        self._seq = 0
+        # Aggregate counters.
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.compulsory_misses = 0
+        self.writebacks = 0
+
+    def set_index(self, block: int) -> int:
+        return block % self.n_sets
+
+    def set_state(self, set_index: int) -> CacheSet:
+        """Direct access to a set, for tests and the SBAR controller."""
+        return self._sets[set_index]
+
+    def contains(self, block: int) -> bool:
+        """Non-destructive residency probe (no recency update)."""
+        return self._sets[self.set_index(block)].find(block) >= 0
+
+    def access(self, block: int, is_write: bool = False) -> AccessResult:
+        """Look up ``block``; on a miss, install it, evicting if needed."""
+        set_index = self.set_index(block)
+        cache_set = self._sets[set_index]
+        policy = (
+            self.policy_selector(set_index)
+            if self.policy_selector is not None
+            else self.policy
+        )
+        seq = self._seq
+        self._seq += 1
+        self.accesses += 1
+        policy.note_access(block, seq)
+
+        position = cache_set.find(block)
+        if position >= 0:
+            self.hits += 1
+            policy.on_hit(cache_set, position)
+            state = cache_set.get(block)
+            assert state is not None
+            if is_write:
+                state.dirty = True
+            return AccessResult(True, state, set_index)
+
+        self.misses += 1
+        result = AccessResult(False, BlockState(block, seq), set_index)
+        if cache_set.full:
+            victim_position = policy.choose_victim(cache_set)
+            victim = cache_set.evict(victim_position)
+            result.victim_block = victim.block
+            result.victim_dirty = victim.dirty
+            if victim.dirty:
+                self.writebacks += 1
+        policy.on_fill(cache_set, result.state)
+        if is_write:
+            result.state.dirty = True
+        if self._seen is not None:
+            if block not in self._seen:
+                self._seen.add(block)
+                result.compulsory = True
+                self.compulsory_misses += 1
+        return result
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` if resident (inclusion enforcement); no writeback."""
+        cache_set = self._sets[self.set_index(block)]
+        position = cache_set.find(block)
+        if position < 0:
+            return False
+        cache_set.evict(position)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def resident_blocks(self) -> Set[int]:
+        """All blocks currently in the cache (test helper)."""
+        resident: Set[int] = set()
+        for cache_set in self._sets:
+            for state in cache_set.ways:
+                resident.add(state.block)
+        return resident

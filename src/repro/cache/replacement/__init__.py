@@ -1,0 +1,32 @@
+"""Replacement policies: the Cost Aware Replacement Engine (CARE).
+
+Figure 3(a) shows replacement as a pluggable engine; "CARE can consist
+of any generic cost-sensitive scheme".  This package provides:
+
+* :class:`LRUPolicy` — the paper's baseline (Equation 1).
+* :class:`LINPolicy` — the Linear policy of Equation 2,
+  ``victim = argmin R(i) + lambda * cost_q(i)``.
+* :class:`CostThresholdPolicy` — a depth-limited cost-sensitive LRU in
+  the spirit of Jeong & Dubois, used for ablations.
+* :class:`BeladyPolicy` — OPT, for the Figure 1 analysis.
+* :class:`FIFOPolicy`, :class:`RandomPolicy` — sanity baselines.
+"""
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy, FIFOPolicy, RandomPolicy
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.cache.replacement.lin import LINPolicy, CostThresholdPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "BeladyPolicy",
+    "LINPolicy",
+    "CostThresholdPolicy",
+]
+
+# The DIP/LIP/BIP family lives in repro.cache.replacement.dip; it is
+# imported directly (not re-exported here) because it builds on the
+# sbar package, which itself imports the cache package.

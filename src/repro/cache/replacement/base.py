@@ -1,0 +1,45 @@
+"""Replacement-policy protocol.
+
+A policy is a stateless-per-set strategy object: the cache owns the
+recency ordering (:class:`~repro.cache.sets.CacheSet` keeps ways MRU
+first) and consults the policy at the three interesting moments: hit,
+victim selection, and fill.  Policies that need global knowledge
+(Belady's OPT) additionally observe every access through
+:meth:`ReplacementPolicy.note_access`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cache.block import BlockState
+from repro.cache.sets import CacheSet
+
+
+class ReplacementPolicy(ABC):
+    """Strategy interface consulted by :class:`SetAssociativeCache`."""
+
+    #: Short name used in reports ("lru", "lin(4)", ...).
+    name = "abstract"
+
+    def note_access(self, block: int, seq: int) -> None:
+        """Observe an access before the lookup happens.
+
+        Only policies with oracle or global state need this; the default
+        does nothing.
+        """
+
+    def on_hit(self, cache_set: CacheSet, position: int) -> None:
+        """React to a hit at ``position``; default is move-to-MRU."""
+        cache_set.touch(position)
+
+    @abstractmethod
+    def choose_victim(self, cache_set: CacheSet) -> int:
+        """Return the position of the block to evict from a full set."""
+
+    def on_fill(self, cache_set: CacheSet, state: BlockState) -> None:
+        """Install a newly fetched block; default is insert at MRU."""
+        cache_set.insert_mru(state)
+
+    def __repr__(self) -> str:
+        return "<%s %s>" % (type(self).__name__, self.name)

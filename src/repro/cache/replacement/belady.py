@@ -1,0 +1,107 @@
+"""Belady's OPT: evict the block reused furthest in the future.
+
+Used by the Figure 1 analysis to show that minimizing misses is not the
+same as minimizing stalls: on the P/S loop OPT achieves four misses but
+four long-latency stalls per iteration, while the MLP-aware policy takes
+six misses and only two stalls.
+
+OPT needs oracle next-use information.  :func:`next_use_distances`
+precomputes, for each access position, where the same block is touched
+next; the policy stamps that onto the tag entry via
+:meth:`BeladyPolicy.note_access`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.sets import CacheSet
+
+#: "Never used again" sentinel; larger than any trace position.
+NEVER = sys.maxsize
+
+
+def collapse_consecutive(blocks: Sequence[int]) -> List[int]:
+    """Drop immediately repeated blocks from a reference sequence.
+
+    A one-block L1 (the Figure 1 setup) filters exactly the back-to-back
+    repeats, so the L2 observes this collapsed sequence; the OPT oracle
+    must be built over it, not over the raw trace.
+    """
+    collapsed: List[int] = []
+    for block in blocks:
+        if not collapsed or collapsed[-1] != block:
+            collapsed.append(block)
+    return collapsed
+
+
+def next_use_distances(blocks: Sequence[int]) -> List[int]:
+    """For each position ``i``, the next position touching ``blocks[i]``.
+
+    >>> next_use_distances([1, 2, 1])
+    [2, 9223372036854775807, 9223372036854775807]
+    """
+    next_use = [NEVER] * len(blocks)
+    last_seen: Dict[int, int] = {}
+    for position in range(len(blocks) - 1, -1, -1):
+        block = blocks[position]
+        next_use[position] = last_seen.get(block, NEVER)
+        last_seen[block] = position
+    return next_use
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """OPT over a known access-position sequence.
+
+    ``next_use`` must come from :func:`next_use_distances` applied to
+    the block-number sequence the cache will observe; the driver must
+    call the cache with monotonically increasing sequence numbers
+    (the :class:`~repro.cache.cache.SetAssociativeCache` does this).
+    """
+
+    name = "belady"
+
+    def __init__(
+        self,
+        next_use: Sequence[int],
+        expected_blocks: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._next_use = next_use
+        self._expected_blocks = expected_blocks
+        self._pending_next_use = NEVER
+
+    def note_access(self, block: int, seq: int) -> None:
+        if seq >= len(self._next_use):
+            raise IndexError(
+                "access %d beyond the oracle horizon %d"
+                % (seq, len(self._next_use))
+            )
+        if (
+            self._expected_blocks is not None
+            and self._expected_blocks[seq] != block
+        ):
+            raise ValueError(
+                "oracle desync at access %d: expected block 0x%x, saw 0x%x "
+                "(was the oracle built over the L2-visible sequence?)"
+                % (seq, self._expected_blocks[seq], block)
+            )
+        self._pending_next_use = self._next_use[seq]
+
+    def on_hit(self, cache_set: CacheSet, position: int) -> None:
+        state = cache_set.touch(position)
+        state.next_use = self._pending_next_use
+
+    def choose_victim(self, cache_set: CacheSet) -> int:
+        farthest_position = 0
+        farthest_use = -1
+        for position, state in enumerate(cache_set.ways):
+            if state.next_use > farthest_use:
+                farthest_use = state.next_use
+                farthest_position = position
+        return farthest_position
+
+    def on_fill(self, cache_set, state) -> None:
+        state.next_use = self._pending_next_use
+        cache_set.insert_mru(state)

@@ -1,0 +1,68 @@
+"""Cost-sensitive policies: the Linear (LIN) policy of Section 5.1.
+
+LIN chooses ``victim = argmin_i R(i) + lambda * cost_q(i)`` (Equation 2)
+where ``R`` is the recency value (MRU highest) and ``cost_q`` the 3-bit
+quantized mlp-cost stored in the tag.  Ties go to the smallest recency.
+``lambda = 0`` degenerates to LRU; the paper's default is ``lambda = 4``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.sets import CacheSet
+
+DEFAULT_LAMBDA = 4
+
+
+class LINPolicy(ReplacementPolicy):
+    """The Linear policy: recency plus lambda times quantized cost."""
+
+    def __init__(self, lam: int = DEFAULT_LAMBDA) -> None:
+        if lam < 0:
+            raise ValueError("lambda must be non-negative, got %r" % lam)
+        self.lam = lam
+        self.name = "lin(%d)" % lam
+
+    def choose_victim(self, cache_set: CacheSet) -> int:
+        lam = self.lam
+        best_position = 0
+        best_score = None
+        for position, state in enumerate(cache_set.ways):
+            score = cache_set.recency(position) + lam * state.cost_q
+            # "<=" keeps the later (lower-recency) candidate on ties,
+            # implementing the paper's tie-break toward small recency.
+            if best_score is None or score <= best_score:
+                best_score = score
+                best_position = position
+        return best_position
+
+
+class CostThresholdPolicy(ReplacementPolicy):
+    """Depth-limited cost-sensitive LRU, for ablation studies.
+
+    Considers only the ``depth`` least-recent blocks and evicts the
+    cheapest of those; with ``depth = associativity`` this is a pure
+    min-cost policy, with ``depth = 1`` it is LRU.  This mirrors the
+    family of LRU variants Jeong & Dubois propose as generic
+    cost-sensitive engines (Section 2), demonstrating that CARE accepts
+    schemes other than LIN.
+    """
+
+    def __init__(self, depth: int = 4) -> None:
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.depth = depth
+        self.name = "cost-threshold(%d)" % depth
+
+    def choose_victim(self, cache_set: CacheSet) -> int:
+        n_ways = len(cache_set.ways)
+        first_candidate = max(0, n_ways - self.depth)
+        best_position = n_ways - 1
+        best_cost = cache_set.ways[best_position].cost_q
+        # Scan from LRU backwards so ties keep the least-recent block.
+        for position in range(n_ways - 1, first_candidate - 1, -1):
+            cost = cache_set.ways[position].cost_q
+            if cost < best_cost:
+                best_cost = cost
+                best_position = position
+        return best_position

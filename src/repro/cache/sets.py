@@ -1,0 +1,72 @@
+"""One cache set: an ordered collection of tag entries.
+
+Ways are kept in recency order, MRU first, so the paper's recency value
+``R(i)`` (highest = MRU, lowest = LRU) of the entry at position ``p`` is
+``associativity - 1 - p``.  All policies, including LIN, read recency
+straight from this ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.block import BlockState
+
+
+class CacheSet:
+    """A single set holding up to ``associativity`` blocks, MRU first."""
+
+    __slots__ = ("associativity", "ways")
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be positive")
+        self.associativity = associativity
+        self.ways: List[BlockState] = []
+
+    def find(self, block: int) -> int:
+        """Position of ``block`` in the set, or -1."""
+        for position, state in enumerate(self.ways):
+            if state.block == block:
+                return position
+        return -1
+
+    def recency(self, position: int) -> int:
+        """The paper's R(i): ``assoc - 1`` for MRU down to 0 for LRU.
+
+        Positions past the current fill level still map onto the LRU end
+        (an under-filled set behaves as if padded with invalid ways).
+        """
+        return self.associativity - 1 - position
+
+    def touch(self, position: int) -> BlockState:
+        """Move the entry at ``position`` to MRU and return it."""
+        state = self.ways.pop(position)
+        self.ways.insert(0, state)
+        return state
+
+    @property
+    def full(self) -> bool:
+        return len(self.ways) >= self.associativity
+
+    def insert_mru(self, state: BlockState) -> None:
+        """Insert a freshly filled block at the MRU position."""
+        if self.full:
+            raise RuntimeError("insert into a full set without eviction")
+        self.ways.insert(0, state)
+
+    def evict(self, position: int) -> BlockState:
+        """Remove and return the entry at ``position``."""
+        return self.ways.pop(position)
+
+    def get(self, block: int) -> Optional[BlockState]:
+        position = self.find(block)
+        if position < 0:
+            return None
+        return self.ways[position]
+
+    def __len__(self) -> int:
+        return len(self.ways)
+
+    def __repr__(self) -> str:
+        return "CacheSet(%s)" % ", ".join(hex(w.block) for w in self.ways)

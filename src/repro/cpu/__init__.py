@@ -1,0 +1,27 @@
+"""Processor substrate: window timing model and branch predictors.
+
+The window model (:mod:`repro.cpu.window`) is where MLP comes from:
+misses dispatched within one 128-entry window residency overlap, while
+a miss that drains the window before the next one dispatches stalls the
+core alone.  The branch-predictor substrate (:mod:`repro.cpu.branch`)
+implements the Table 2 gshare/PAs hybrid used to drive wrong-path
+reference injection.
+"""
+
+from repro.cpu.window import WindowModel
+from repro.cpu.store_buffer import StoreBuffer
+from repro.cpu.branch import (
+    BranchTargetBuffer,
+    GshareBranchPredictor,
+    HybridBranchPredictor,
+    PAsBranchPredictor,
+)
+
+__all__ = [
+    "WindowModel",
+    "StoreBuffer",
+    "GshareBranchPredictor",
+    "PAsBranchPredictor",
+    "HybridBranchPredictor",
+    "BranchTargetBuffer",
+]

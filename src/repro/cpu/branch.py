@@ -1,0 +1,193 @@
+"""Branch-predictor substrate: the Table 2 front end.
+
+Table 2 specifies a 64K-entry gshare / 64K-entry PAs hybrid with a
+64K-entry selector and a 4K-entry 4-way BTB.  The predictors matter to
+the replacement study only through wrong-path memory references, which
+Section 3.1 excludes from demand-miss accounting; the substrate is
+nevertheless implemented in full so traces with branch streams can be
+driven through it (see ``examples/wrong_path_injection.py``).
+
+All predictors use 2-bit saturating counters initialized weakly taken.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+_WEAKLY_NOT_TAKEN = 1
+_COUNTER_MAX = 3
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, n_entries: int) -> None:
+        if n_entries < 1 or n_entries & (n_entries - 1):
+            raise ValueError("table size must be a power of two")
+        self.mask = n_entries - 1
+        self.counters: List[int] = [_WEAKLY_NOT_TAKEN] * n_entries
+
+    def predict(self, index: int) -> bool:
+        return self.counters[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        counter = self.counters[index]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self.counters[index] = counter + 1
+        elif counter > 0:
+            self.counters[index] = counter - 1
+
+
+class GshareBranchPredictor:
+    """Global-history predictor: PC xor global history indexes counters."""
+
+    def __init__(self, n_entries: int = 64 * 1024) -> None:
+        self.table = _CounterTable(n_entries)
+        self.history_bits = n_entries.bit_length() - 1
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the outcome; returns whether the prediction was right."""
+        index = self._index(pc)
+        correct = self.table.predict(index) == taken
+        self.table.update(index, taken)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+
+class PAsBranchPredictor:
+    """Per-address two-level predictor (PAs).
+
+    A first-level table keeps per-branch local history; the history
+    selects a counter in a shared second-level table.
+    """
+
+    def __init__(
+        self, n_entries: int = 64 * 1024, history_bits: int = 10,
+        n_history_registers: int = 1024,
+    ) -> None:
+        self.table = _CounterTable(n_entries)
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._histories: List[int] = [0] * n_history_registers
+        self._bhr_mask = n_history_registers - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        history = self._histories[(pc >> 2) & self._bhr_mask]
+        return ((pc >> 2) << self.history_bits) | history
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = self._index(pc)
+        correct = self.table.predict(index) == taken
+        self.table.update(index, taken)
+        register = (pc >> 2) & self._bhr_mask
+        self._histories[register] = (
+            (self._histories[register] << 1) | int(taken)
+        ) & self._history_mask
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+
+class HybridBranchPredictor:
+    """gshare/PAs hybrid with a selector table (Table 2).
+
+    The selector is a table of 2-bit counters trained toward whichever
+    component was correct when they disagree.
+    """
+
+    def __init__(
+        self,
+        gshare_entries: int = 64 * 1024,
+        pas_entries: int = 64 * 1024,
+        selector_entries: int = 64 * 1024,
+    ) -> None:
+        self.gshare = GshareBranchPredictor(gshare_entries)
+        self.pas = PAsBranchPredictor(pas_entries)
+        self.selector = _CounterTable(selector_entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self.selector.predict(pc >> 2)
+        if use_gshare:
+            return self.gshare.predict(pc)
+        return self.pas.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train all components; returns overall correctness."""
+        prediction = self.predict(pc)
+        gshare_right = self.gshare.update(pc, taken)
+        pas_right = self.pas.update(pc, taken)
+        if gshare_right != pas_right:
+            self.selector.update(pc >> 2, gshare_right)
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchTargetBuffer:
+    """4K-entry, 4-way BTB with LRU replacement."""
+
+    def __init__(self, n_entries: int = 4096, associativity: int = 4) -> None:
+        if n_entries % associativity:
+            raise ValueError("entries must divide evenly into ways")
+        self.n_sets = n_entries // associativity
+        self.associativity = associativity
+        # Each set: list of (pc, target) in MRU order.
+        self._sets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self.n_sets)
+        ]
+        self.lookups = 0
+        self.hits = 0
+
+    def _set_for(self, pc: int) -> List[Tuple[int, int]]:
+        return self._sets[(pc >> 2) % self.n_sets]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        self.lookups += 1
+        entries = self._set_for(pc)
+        for position, (entry_pc, target) in enumerate(entries):
+            if entry_pc == pc:
+                entries.insert(0, entries.pop(position))
+                self.hits += 1
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        entries = self._set_for(pc)
+        for position, (entry_pc, _) in enumerate(entries):
+            if entry_pc == pc:
+                entries.pop(position)
+                break
+        entries.insert(0, (pc, target))
+        if len(entries) > self.associativity:
+            entries.pop()

@@ -1,0 +1,47 @@
+"""Store buffer: stores retire without waiting for memory.
+
+Table 2: "128-entry store buffer.  Store misses do not block window
+unless the store buffer is full."  The buffer is a timing-only model:
+it tracks outstanding store completions; when a store dispatches into a
+full buffer the core must wait for the oldest completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+
+class StoreBuffer:
+    """Bounded set of in-flight stores, tracked by completion time."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = capacity
+        self._completions: List[float] = []
+        self.full_stalls = 0
+
+    def admit(self, when: float, completion: float) -> float:
+        """Insert a store dispatching at ``when`` completing at ``completion``.
+
+        Returns the (possibly delayed) dispatch time: if the buffer is
+        full, the store waits for entries to drain, which backpressures
+        the window.
+        """
+        heap = self._completions
+        while heap and heap[0] <= when:
+            heapq.heappop(heap)
+        while len(heap) >= self.capacity:
+            earliest = heapq.heappop(heap)
+            if earliest > when:
+                when = earliest
+                self.full_stalls += 1
+        heapq.heappush(heap, max(completion, when))
+        return when
+
+    def occupancy_at(self, when: float) -> int:
+        heap = self._completions
+        while heap and heap[0] <= when:
+            heapq.heappop(heap)
+        return len(heap)

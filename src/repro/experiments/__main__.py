@@ -1,0 +1,61 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # everything, paper order
+    python -m repro.experiments figure9 table1  # a subset
+    python -m repro.experiments figure4 --scale 0.3 --benchmarks mcf,art
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help="experiments to run (default: all); one of %s"
+        % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="trace-length multiplier (default: REPRO_SCALE env or 1.0)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset (default: all 14)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiments: %s" % ", ".join(unknown))
+    benchmarks = (
+        args.benchmarks.split(",") if args.benchmarks is not None else None
+    )
+
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name].run(scale=args.scale, benchmarks=benchmarks)
+        print(report.render())
+        print("[%s finished in %.1fs]\n" % (name, time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

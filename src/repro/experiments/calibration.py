@@ -1,0 +1,66 @@
+"""Calibration scorecard: how faithful is each surrogate to the paper?
+
+Prints, for all 14 benchmarks, the measured-vs-paper LIN and SBAR
+effects, whether the signs agree, the effect-size ratio, and the
+Table 1 delta separation between LIN's winners and losers.  This is
+the executable form of the tuning contract in docs/workloads.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import Report, fmt_pct, resolve_benchmarks
+from repro.workloads.validation import (
+    delta_separation,
+    validate_suite,
+)
+
+
+def run(
+    scale: Optional[float] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Report:
+    names = resolve_benchmarks(benchmarks)
+    report = Report(
+        "calibration", "Calibration scorecard: surrogates vs the paper"
+    )
+    results = validate_suite(names, scale=scale)
+    rows = []
+    sign_matches = 0
+    for fidelity in results:
+        if fidelity.lin_sign_matches:
+            sign_matches += 1
+        ratio = fidelity.lin_magnitude_ratio
+        rows.append(
+            (
+                fidelity.benchmark,
+                fmt_pct(fidelity.lin_ipc_measured),
+                fmt_pct(fidelity.lin_ipc_paper),
+                "yes" if fidelity.lin_sign_matches else "NO",
+                "%.1fx" % ratio if ratio is not None else "-",
+                fmt_pct(fidelity.sbar_ipc_measured),
+                fmt_pct(fidelity.sbar_ipc_paper),
+                "%.0f" % fidelity.delta_avg_measured,
+            )
+        )
+    report.add_table(
+        [
+            "benchmark", "LIN", "paper", "sign", "ratio",
+            "SBAR", "paper", "avg delta",
+        ],
+        rows,
+    )
+    separation = delta_separation(results)
+    report.add_note(
+        "LIN sign agreement: %d/%d benchmarks.\n"
+        "Table 1 separation (losers' min avg delta - winners' max): "
+        "%+.0f cycles %s"
+        % (
+            sign_matches,
+            len(results),
+            separation,
+            "(causal story holds)" if separation > 0 else "(violated!)",
+        )
+    )
+    return report

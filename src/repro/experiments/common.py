@@ -1,0 +1,93 @@
+"""Shared experiment-report plumbing.
+
+Every experiment module exposes ``run(scale=None, benchmarks=None)``
+returning a :class:`Report`, which is a titled collection of text
+blocks (tables, notes).  Reports render to aligned plain text so the
+harness output reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Report:
+    """A titled experiment report assembled from tables and notes."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.title = title
+        self._blocks: List[str] = []
+
+    def add_note(self, text: str) -> None:
+        self._blocks.append(text)
+
+    def add_table(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        align_left: int = 1,
+    ) -> None:
+        """Append an aligned text table.
+
+        The first ``align_left`` columns are left-aligned (labels); the
+        rest are right-aligned (numbers).
+        """
+        string_rows = [[_cell(value) for value in row] for row in rows]
+        table = [list(headers)] + string_rows
+        widths = [
+            max(len(row[column]) for row in table)
+            for column in range(len(headers))
+        ]
+        lines = []
+        for index, row in enumerate(table):
+            parts = []
+            for column, value in enumerate(row):
+                if column < align_left:
+                    parts.append(value.ljust(widths[column]))
+                else:
+                    parts.append(value.rjust(widths[column]))
+            lines.append("  ".join(parts).rstrip())
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        self._blocks.append("\n".join(lines))
+
+    def render(self) -> str:
+        rule = "=" * max(len(self.title), 8)
+        body = "\n\n".join(self._blocks)
+        return "%s\n%s\n%s\n\n%s\n" % (rule, self.title, rule, body)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "%.1f" % value
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def fmt_pct(value: float, signed: bool = True) -> str:
+    """Format a percentage the way the paper's insets do (+19%, -3.3%)."""
+    magnitude = abs(value)
+    digits = 1 if magnitude < 10 else 0
+    body = "%.*f%%" % (digits, value)
+    if signed and value > 0:
+        body = "+" + body
+    return body
+
+
+def histogram_bar(percent: float, full_scale: float = 50.0, width: int = 25) -> str:
+    """Render one histogram bucket as a text bar (Figure 2 style)."""
+    filled = int(round(width * min(percent, full_scale) / full_scale))
+    return "#" * filled
+
+
+def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    from repro.workloads import BENCHMARKS
+
+    if benchmarks is None:
+        return list(BENCHMARKS)
+    unknown = [name for name in benchmarks if name not in BENCHMARKS]
+    if unknown:
+        raise KeyError("unknown benchmarks: %s" % ", ".join(unknown))
+    return list(benchmarks)

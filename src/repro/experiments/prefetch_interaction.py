@@ -1,0 +1,84 @@
+"""Extension: interaction between prefetching and MLP-aware replacement.
+
+The paper's Section 2 lists prefetching among the techniques that
+improve MLP.  A stride prefetcher converts streaming misses into
+overlapped (or eliminated) ones, which reshapes the mlp-cost
+distribution LIN feeds on: benchmarks whose LIN benefit comes from
+protecting isolated misses keep it; benchmarks whose benefit came from
+filtering prefetchable streams lose some of it to the prefetcher.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cpu.prefetch import StridePrefetcher
+from repro.experiments.common import Report, fmt_pct, resolve_benchmarks
+from repro.sim.runner import trace_scale
+from repro.sim.simulator import Simulator
+from repro.workloads import build_trace, experiment_config
+
+DEFAULT_BENCHMARKS = ("art", "mcf", "vpr", "lucas")
+
+
+def _run(benchmark: str, policy: str, prefetch: bool, scale: float):
+    prefetcher = StridePrefetcher(degree=2) if prefetch else None
+    simulator = Simulator(
+        experiment_config(), policy, prefetcher=prefetcher
+    )
+    return simulator.run(build_trace(benchmark, scale=scale)), simulator
+
+
+def run(
+    scale: Optional[float] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Report:
+    if scale is None:
+        scale = trace_scale()
+    names = (
+        list(DEFAULT_BENCHMARKS)
+        if benchmarks is None
+        else resolve_benchmarks(benchmarks)
+    )
+    report = Report(
+        "prefetch", "Extension: stride prefetching x MLP-aware replacement"
+    )
+    rows = []
+    for name in names:
+        lru_plain, _ = _run(name, "lru", False, scale)
+        lin_plain, _ = _run(name, "lin(4)", False, scale)
+        lru_pref, sim = _run(name, "lru", True, scale)
+        lin_pref, _ = _run(name, "lin(4)", True, scale)
+        gain_plain = 100 * (lin_plain.ipc - lru_plain.ipc) / lru_plain.ipc
+        gain_pref = 100 * (lin_pref.ipc - lru_pref.ipc) / lru_pref.ipc
+        coverage = 0.0
+        if lru_plain.demand_misses:
+            coverage = 100 * (
+                1 - lru_pref.demand_misses / lru_plain.demand_misses
+            )
+        rows.append(
+            (
+                name,
+                fmt_pct(coverage, signed=False),
+                "%.0f" % lru_plain.avg_mlp_cost,
+                "%.0f" % lru_pref.avg_mlp_cost,
+                fmt_pct(gain_plain),
+                fmt_pct(gain_pref),
+            )
+        )
+    report.add_table(
+        [
+            "benchmark", "pf coverage", "avg cost", "avg cost+pf",
+            "LIN gain", "LIN gain+pf",
+        ],
+        rows,
+    )
+    report.add_note(
+        "'pf coverage' is the share of demand misses the prefetcher\n"
+        "removed under LRU.  Prefetching raises the average cost of the\n"
+        "*remaining* misses (the parallel ones get covered first), so\n"
+        "what is left is more isolated - the benchmarks that keep their\n"
+        "LIN gain are the ones whose gain came from isolated-miss\n"
+        "protection rather than stream filtering."
+    )
+    return report

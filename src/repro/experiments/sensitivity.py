@@ -1,0 +1,84 @@
+"""Extension study: sensitivity of the LIN benefit to machine parameters.
+
+Not a paper figure — an ablation DESIGN.md calls for.  Two sweeps:
+
+* **L2 capacity**: the MLP-aware benefit depends on how much of the
+  protectable working set fits; sweeping the cache size shows where the
+  LIN-vs-LRU gap opens and closes.
+* **MSHR size**: the MSHR bounds achievable MLP.  With very few
+  entries, "parallel" misses serialize and every miss tends toward the
+  isolated cost, shrinking the cost differential LIN feeds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.config import MSHRConfig, scaled_config
+from repro.experiments.common import Report, fmt_pct
+from repro.sim.runner import trace_scale
+from repro.sim.simulator import Simulator
+from repro.workloads import build_trace
+
+L2_SIZES_KB = (64, 128, 256, 512)
+MSHR_SIZES = (1, 2, 4, 8, 32)
+DEFAULT_BENCHMARK = "mcf"
+
+
+def _gain(config, benchmark: str, scale: float) -> float:
+    lru = Simulator(config, "lru").run(build_trace(benchmark, scale=scale))
+    lin = Simulator(config, "lin(4)").run(build_trace(benchmark, scale=scale))
+    if lru.ipc <= 0:
+        return 0.0
+    return 100.0 * (lin.ipc - lru.ipc) / lru.ipc
+
+
+def run(
+    scale: Optional[float] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Report:
+    if scale is None:
+        scale = trace_scale()
+    benchmark = benchmarks[0] if benchmarks else DEFAULT_BENCHMARK
+    report = Report(
+        "sensitivity",
+        "Extension: LIN benefit vs L2 capacity and MSHR size (%s)" % benchmark,
+    )
+
+    rows = []
+    for l2_kb in L2_SIZES_KB:
+        config = scaled_config(l2_kb)
+        rows.append(("%d KB" % l2_kb, fmt_pct(_gain(config, benchmark, scale))))
+    report.add_note(
+        "L2 capacity sweep (surrogate pools scale with the 256KB machine,\n"
+        "so smaller caches see deeper thrash and larger ones absorb it):"
+    )
+    report.add_table(["L2 size", "LIN(4) IPC gain"], rows)
+
+    mshr_benchmark = "art"  # bursts of 16: MLP actually bounded by MSHR
+    rows = []
+    for entries in MSHR_SIZES:
+        config = replace(
+            scaled_config(256), mshr=MSHRConfig(n_entries=entries)
+        )
+        lru = Simulator(config, "lru").run(
+            build_trace(mshr_benchmark, scale=scale)
+        )
+        gain = _gain(config, mshr_benchmark, scale)
+        rows.append(
+            (
+                str(entries),
+                "%.0f" % lru.cost_distribution.average,
+                fmt_pct(gain),
+            )
+        )
+    report.add_note(
+        "MSHR sweep (art, bursts of 16): few entries serialize the\n"
+        "'parallel' misses, raising every miss's cost toward the isolated\n"
+        "444 cycles and collapsing the differential LIN exploits:"
+    )
+    report.add_table(
+        ["MSHR entries", "avg mlp-cost (LRU)", "LIN(4) IPC gain"], rows
+    )
+    return report

@@ -1,0 +1,55 @@
+"""Table 3: benchmark summary under the baseline policy.
+
+The paper reports, per benchmark, the number of L2 misses and the
+percentage of compulsory misses; only benchmarks with < 50 % compulsory
+misses are studied (replacement cannot help compulsory misses).
+Absolute miss counts differ from the paper (250M-instruction SimPoint
+slices vs our surrogate traces); the compulsory percentages and the
+relative ordering are the comparable shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import Report, resolve_benchmarks
+from repro.sim.runner import run_policy
+from repro.workloads import PAPER_TABLE3
+
+
+def run(
+    scale: Optional[float] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Report:
+    report = Report("table3", "Table 3: benchmark summary (baseline LRU)")
+    rows = []
+    for name in resolve_benchmarks(benchmarks):
+        result = run_policy(name, "lru", scale=scale)
+        paper = PAPER_TABLE3.get(name, ("-", None, None))
+        rows.append(
+            (
+                name,
+                paper[0],
+                result.instructions,
+                result.demand_misses,
+                "%dK" % paper[1] if paper[1] else "-",
+                "%.1f%%" % (100.0 * result.compulsory_fraction),
+                "%.1f%%" % paper[2] if paper[2] is not None else "-",
+                "%.2f" % result.mpki,
+            )
+        )
+    report.add_table(
+        [
+            "benchmark", "type", "instructions", "L2 misses",
+            "paper misses", "compulsory", "paper", "MPKI",
+        ],
+        rows,
+    )
+    report.add_note(
+        "Ordering is preserved (streaming benchmarks compulsory-heavy,\n"
+        "reuse-heavy ones compulsory-light).  The LIN-regression\n"
+        "surrogates (bzip2/parser/mgrid) exceed the paper's percentages\n"
+        "because their baselines hit almost everywhere, leaving cold\n"
+        "blocks as most of the remaining misses."
+    )
+    return report

@@ -1,0 +1,19 @@
+"""Main-memory substrate: DRAM banks, split-transaction bus, controller.
+
+The Table 2 machine services an isolated miss in 444 cycles: 400 cycles
+of DRAM access plus 44 cycles of bus delay.  Parallel misses overlap
+their DRAM accesses across the 32 banks but serialize on bank conflicts
+and on the 16-byte bus, exactly the effects Section 4.1 says are
+modeled ("bank conflicts, queueing delays, and port contention").
+"""
+
+from repro.memory.bus import SplitTransactionBus
+from repro.memory.dram import DramBankArray, RowBufferBankArray
+from repro.memory.controller import MemoryController
+
+__all__ = [
+    "DramBankArray",
+    "RowBufferBankArray",
+    "SplitTransactionBus",
+    "MemoryController",
+]

@@ -1,0 +1,32 @@
+"""MLP-based cost machinery: the paper's first contribution.
+
+Algorithm 1 computes, for every demand miss, the integral of ``1/N``
+over the miss's lifetime in the MSHR, where ``N`` is the number of
+outstanding demand misses.  An isolated miss therefore costs the full
+444-cycle service latency; k fully-overlapped misses cost ~444/k each.
+
+:class:`~repro.mlp.mshr.MSHRFile` implements the MSHR with the cost
+field; :mod:`repro.mlp.cost` holds the quantizer of Figure 3(b) and a
+cycle-accurate reference used to validate the event-driven integral;
+:mod:`repro.mlp.delta` reproduces the Table 1 predictability study.
+"""
+
+from repro.mlp.cost import (
+    QUANTIZATION_STEP,
+    MAX_COST_Q,
+    quantize_cost,
+    reference_mlp_costs,
+)
+from repro.mlp.mshr import MSHRFile, MSHRFullError
+from repro.mlp.delta import DeltaTracker, DeltaSummary
+
+__all__ = [
+    "MSHRFile",
+    "MSHRFullError",
+    "quantize_cost",
+    "reference_mlp_costs",
+    "QUANTIZATION_STEP",
+    "MAX_COST_Q",
+    "DeltaTracker",
+    "DeltaSummary",
+]

@@ -1,0 +1,103 @@
+"""MLP-based cost: quantization (Figure 3b) and a reference model.
+
+The hardware stores a 3-bit *quantized* cost per tag entry.  Figure 3(b)
+defines the mapping: 60-cycle buckets, saturating at 7 for costs of 420
+cycles and above (isolated misses on the 444-cycle machine land here).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+#: Width of one quantization bucket in cycles (Figure 3b).
+QUANTIZATION_STEP = 60
+
+#: Largest representable quantized cost (3 bits).
+MAX_COST_Q = 7
+
+
+def quantize_cost(mlp_cost: float) -> int:
+    """Quantize an mlp-cost in cycles to the 3-bit cost_q of Figure 3(b).
+
+    >>> quantize_cost(0)
+    0
+    >>> quantize_cost(59.9)
+    0
+    >>> quantize_cost(60)
+    1
+    >>> quantize_cost(444)
+    7
+    """
+    if mlp_cost < 0:
+        raise ValueError("mlp-cost cannot be negative, got %r" % mlp_cost)
+    bucket = int(mlp_cost // QUANTIZATION_STEP)
+    return min(bucket, MAX_COST_Q)
+
+
+def dequantize_cost(cost_q: int) -> float:
+    """Representative cycle value for a quantized cost (bucket midpoint)."""
+    if not 0 <= cost_q <= MAX_COST_Q:
+        raise ValueError("cost_q out of range: %r" % cost_q)
+    return (cost_q + 0.5) * QUANTIZATION_STEP
+
+
+def reference_mlp_costs(
+    misses: Sequence[Tuple[int, int, bool]],
+) -> List[float]:
+    """Cycle-accurate Algorithm 1, for validating the fast integrator.
+
+    ``misses`` is a list of ``(issue_cycle, complete_cycle, is_demand)``
+    tuples with integer cycle times.  Each cycle in ``[issue, complete)``
+    every demand miss accrues ``1/N`` where ``N`` is the number of demand
+    misses outstanding during that cycle — a literal transcription of
+    ``update_mlp_cost()`` from the paper.
+
+    Returns one cost per input miss (0.0 for non-demand misses).  This is
+    O(total cycles) and only suitable for tests.
+    """
+    if not misses:
+        return []
+    horizon = max(complete for _, complete, _ in misses)
+    costs = [0.0] * len(misses)
+    for cycle in range(horizon):
+        live = [
+            index
+            for index, (issue, complete, demand) in enumerate(misses)
+            if demand and issue <= cycle < complete
+        ]
+        if not live:
+            continue
+        share = 1.0 / len(live)
+        for index in live:
+            costs[index] += share
+    return costs
+
+
+def histogram_bins(n_bins: int = 8) -> List[Tuple[int, float]]:
+    """Bin edges used by the Figure 2 / Figure 5 distributions.
+
+    Returns ``[(low, high), ...]`` where the final bin is open-ended
+    (420+ cycles: isolated misses and bank-conflict-serialized misses).
+    """
+    edges: List[Tuple[int, float]] = []
+    for index in range(n_bins - 1):
+        edges.append((index * QUANTIZATION_STEP, (index + 1) * QUANTIZATION_STEP))
+    edges.append(((n_bins - 1) * QUANTIZATION_STEP, float("inf")))
+    return edges
+
+
+def cost_histogram(costs: Iterable[float], n_bins: int = 8) -> List[float]:
+    """Fraction of misses per Figure 2 bin (percent of all misses).
+
+    >>> cost_histogram([10, 70, 500])
+    [33.33333333333333, 33.33333333333333, 0.0, 0.0, 0.0, 0.0, 0.0, 33.33333333333333]
+    """
+    counts = [0] * n_bins
+    total = 0
+    for cost in costs:
+        bucket = min(int(cost // QUANTIZATION_STEP), n_bins - 1)
+        counts[bucket] += 1
+        total += 1
+    if not total:
+        return [0.0] * n_bins
+    return [100.0 * count / total for count in counts]

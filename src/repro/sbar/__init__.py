@@ -1,0 +1,42 @@
+"""Hybrid replacement: CBS and Sampling Based Adaptive Replacement.
+
+Section 6 of the paper: two tag directories implementing rival policies
+race, a saturating PSEL counter integrates which one avoids more
+memory-stall cost, and the main cache follows the winner.
+
+* :mod:`repro.sbar.psel` — the saturating policy-selector counter.
+* :mod:`repro.sbar.cbs` — Contest Based Selection, per-set (CBS-local)
+  and global (CBS-global), with full auxiliary directories.
+* :mod:`repro.sbar.leader_sets` — constituencies and the simple-static /
+  rand-dynamic leader selection policies of Section 6.4/6.6.
+* :mod:`repro.sbar.sbar` — SBAR proper: leader sets run LIN in the main
+  directory, a single sparse ATD-LRU shadows them, followers obey PSEL.
+* :mod:`repro.sbar.sampling_model` — the analytical model of Section
+  6.3 (Equations 3-5, Figure 8).
+* :mod:`repro.sbar.overhead` — the 1854-byte hardware budget.
+"""
+
+from repro.sbar.psel import PolicySelector
+from repro.sbar.leader_sets import (
+    constituency_of,
+    rand_dynamic_leaders,
+    simple_static_leaders,
+)
+from repro.sbar.sampling_model import probability_best_policy
+from repro.sbar.overhead import OverheadReport, sbar_overhead
+from repro.sbar.sbar import SBARController
+from repro.sbar.cbs import CBSController
+from repro.sbar.tournament import TournamentController
+
+__all__ = [
+    "PolicySelector",
+    "simple_static_leaders",
+    "rand_dynamic_leaders",
+    "constituency_of",
+    "probability_best_policy",
+    "sbar_overhead",
+    "OverheadReport",
+    "SBARController",
+    "CBSController",
+    "TournamentController",
+]

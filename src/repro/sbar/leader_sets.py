@@ -1,0 +1,75 @@
+"""Leader-set selection (Sections 6.4 and 6.6).
+
+The cache's N sets are divided into K equal *constituencies*; one leader
+set per constituency updates PSEL on behalf of everyone.
+
+* ``simple-static`` picks set ``c`` of constituency ``c``: set indices
+  ``c * (N/K) + c``.  For K=32, N=1024 this yields 0, 33, 66, ..., 1023,
+  and a leader is recognized by comparing index bits [9:5] with [4:0] —
+  no storage needed.
+* ``rand-dynamic`` picks one uniformly random set per constituency and
+  re-draws every epoch (25M instructions in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List
+
+
+def _check_geometry(n_sets: int, n_leaders: int) -> int:
+    if n_leaders < 1 or n_sets < 1:
+        raise ValueError("set and leader counts must be positive")
+    if n_leaders > n_sets:
+        raise ValueError(
+            "cannot have %d leaders among %d sets" % (n_leaders, n_sets)
+        )
+    if n_sets % n_leaders:
+        raise ValueError(
+            "leader count %d must divide set count %d" % (n_leaders, n_sets)
+        )
+    return n_sets // n_leaders
+
+
+def constituency_of(set_index: int, n_sets: int, n_leaders: int) -> int:
+    """Constituency (region of N/K consecutive sets) owning a set."""
+    constituency_size = _check_geometry(n_sets, n_leaders)
+    if not 0 <= set_index < n_sets:
+        raise ValueError("set index %d out of range" % set_index)
+    return set_index // constituency_size
+
+
+def simple_static_leaders(n_sets: int, n_leaders: int) -> FrozenSet[int]:
+    """The simple-static policy: leader c is set ``c*(N/K) + c``.
+
+    >>> sorted(simple_static_leaders(1024, 32))[:4]
+    [0, 33, 66, 99]
+    """
+    constituency_size = _check_geometry(n_sets, n_leaders)
+    return frozenset(
+        constituency * constituency_size + constituency
+        for constituency in range(n_leaders)
+    )
+
+
+def is_simple_static_leader(set_index: int, n_sets: int, n_leaders: int) -> bool:
+    """Comparator-style membership test (bits [9:5] == bits [4:0]).
+
+    For power-of-two geometries this is the 5-bit comparator of
+    Section 6.4; the arithmetic form works for any valid geometry.
+    """
+    constituency_size = _check_geometry(n_sets, n_leaders)
+    constituency, offset = divmod(set_index, constituency_size)
+    return constituency == offset
+
+
+def rand_dynamic_leaders(
+    n_sets: int, n_leaders: int, rng: random.Random
+) -> FrozenSet[int]:
+    """The rand-dynamic policy: one random set per constituency."""
+    constituency_size = _check_geometry(n_sets, n_leaders)
+    leaders: List[int] = []
+    for constituency in range(n_leaders):
+        base = constituency * constituency_size
+        leaders.append(base + rng.randrange(constituency_size))
+    return frozenset(leaders)

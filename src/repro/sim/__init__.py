@@ -1,0 +1,21 @@
+"""Simulation facade: run a trace through the Table 2 machine.
+
+:class:`~repro.sim.simulator.Simulator` wires the window model, cache
+hierarchy, MSHR, and memory controller together and produces a
+:class:`~repro.sim.stats.SimResult` with everything the paper's
+evaluation reports: IPC, demand misses, the mlp-cost distribution
+(Figure 2/5), delta predictability (Table 1), and per-interval phase
+samples (Figure 11).
+"""
+
+from repro.sim.simulator import Simulator, build_l2_policy
+from repro.sim.stats import SimResult
+from repro.sim.runner import run_policy, ipc_improvement
+
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "build_l2_policy",
+    "run_policy",
+    "ipc_improvement",
+]

@@ -1,0 +1,82 @@
+"""Shared experiment runner with per-process result caching.
+
+Most figures reuse the same (benchmark, policy) simulations — Figure 4
+needs LIN(1..4) and LRU, Figure 9 reuses LRU and LIN(4) and adds SBAR —
+so results are memoized on (benchmark, policy-spec, scale).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimResult
+
+_CACHE: Dict[Tuple, SimResult] = {}
+
+
+def trace_scale() -> float:
+    """Global trace-length multiplier, settable via REPRO_SCALE.
+
+    Benchmarks default to 1.0; set e.g. ``REPRO_SCALE=4`` for longer,
+    more converged runs, or ``0.25`` for a quick smoke pass.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def run_policy(
+    benchmark: str,
+    policy_spec: str,
+    scale: Optional[float] = None,
+    config: Optional[MachineConfig] = None,
+    phase_interval: Optional[int] = None,
+    use_cache: bool = True,
+) -> SimResult:
+    """Simulate one benchmark surrogate under one policy.
+
+    ``policy_spec`` is a :func:`repro.sim.simulator.build_l2_policy`
+    string.  Results are cached per process unless ``use_cache=False``
+    or a custom config / phase sampling is requested.
+    """
+    from repro import workloads  # deferred: workloads import the sim layer
+
+    if scale is None:
+        scale = trace_scale()
+    cacheable = use_cache and config is None and phase_interval is None
+    key = (benchmark, policy_spec, scale)
+    if cacheable and key in _CACHE:
+        return _CACHE[key]
+
+    if config is None:
+        config = workloads.experiment_config()
+    trace = workloads.build_trace(benchmark, scale=scale)
+    simulator = Simulator(config, policy_spec, phase_interval=phase_interval)
+    result = simulator.run(trace)
+    if cacheable:
+        _CACHE[key] = result
+    return result
+
+
+def ipc_improvement(result: SimResult, baseline: SimResult) -> float:
+    """Percent IPC improvement over a baseline run (the figures' y-axis)."""
+    if baseline.ipc <= 0:
+        return 0.0
+    return 100.0 * (result.ipc - baseline.ipc) / baseline.ipc
+
+
+def miss_change(result: SimResult, baseline: SimResult) -> float:
+    """Percent change in demand misses relative to a baseline run."""
+    if baseline.demand_misses == 0:
+        return 0.0
+    return (
+        100.0
+        * (result.demand_misses - baseline.demand_misses)
+        / baseline.demand_misses
+    )
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests use this for isolation)."""
+    _CACHE.clear()

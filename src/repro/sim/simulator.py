@@ -1,0 +1,451 @@
+"""The top-level simulator: trace in, :class:`SimResult` out.
+
+The dataflow per access (Figure 3a of the paper):
+
+1. The window model dispatches the access (applying any window-full
+   stall caused by earlier long-latency misses).
+2. The L1 (I or D) filters it; an L1 miss probes the L2 tag store.
+3. An L2 demand miss allocates an MSHR entry and a memory-controller
+   request; the Cost Calculation Logic (the MSHR's event-driven
+   Algorithm 1 sweep) later reports the miss's mlp-cost, which is
+   quantized and written into the L2 tag entry, fed to the Table 1
+   delta tracker, and — under SBAR/CBS — applied to any pending PSEL
+   update.
+4. Loads and instruction fetches report their completion back to the
+   window (future accesses may stall on it); stores go to the store
+   buffer and only backpressure the window when it is full.
+
+The simulator is deliberately a single readable function per access
+rather than a cycle loop; all timing feedback happens through
+completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LINPolicy, LRUPolicy, ReplacementPolicy
+from repro.cache.replacement.dip import BIPPolicy, DIPController, LIPPolicy
+from repro.cache.replacement.plru import CostAwareTreePLRUPolicy, TreePLRUPolicy
+from repro.config import MachineConfig, baseline_config
+from repro.cpu.store_buffer import StoreBuffer
+from repro.cpu.window import WindowModel
+from repro.memory.controller import MemoryController
+from repro.mlp.cost import quantize_cost
+from repro.mlp.delta import DeltaTracker
+from repro.mlp.mshr import MSHRFile
+from repro.sbar.cbs import CBSController
+from repro.sbar.sbar import SBARController
+from repro.sbar.tournament import TournamentController
+from repro.sim.stats import CostDistribution, PhaseSample, SimResult
+from repro.trace.record import IFETCH, STORE, Access
+
+#: Things accepted as the L2 replacement specification.
+PolicyLike = Union[
+    ReplacementPolicy,
+    SBARController,
+    CBSController,
+    DIPController,
+    TournamentController,
+    str,
+]
+
+
+def build_l2_policy(spec: PolicyLike, config: MachineConfig):
+    """Resolve a policy spec into (fixed_policy, adaptive_controller).
+
+    Strings accepted: ``"lru"``, ``"lin"``, ``"lin(N)"``, ``"sbar"``,
+    ``"sbar(<selection>,<leaders>)"``, ``"cbs-local"``, ``"cbs-global"``,
+    ``"lip"``, ``"bip"``, ``"dip"``.  Policy and controller instances
+    pass through unchanged.
+    """
+    if isinstance(
+        spec,
+        (SBARController, CBSController, DIPController, TournamentController),
+    ):
+        return None, spec
+    if isinstance(spec, ReplacementPolicy):
+        return spec, None
+    name = spec.strip().lower()
+    n_sets = config.l2.n_sets
+    assoc = config.l2.associativity
+    if name == "lru":
+        return LRUPolicy(), None
+    if name == "lin":
+        return LINPolicy(), None
+    if name.startswith("lin(") and name.endswith(")"):
+        return LINPolicy(int(name[4:-1])), None
+    if name == "sbar":
+        # 32 leaders at the paper's 1024-set geometry; proportionally
+        # denser (1/16 of sets, floor 8) on scaled-down caches, where
+        # shorter traces put a premium on detection speed.  Tiny caches
+        # clamp to one leader per set.
+        n_leaders = min(n_sets, max(8, min(32, n_sets // 16)))
+        return None, SBARController(n_sets, assoc, n_leaders=n_leaders)
+    if name.startswith("sbar(") and name.endswith(")"):
+        selection, count = name[5:-1].split(",")
+        return None, SBARController(
+            n_sets,
+            assoc,
+            n_leaders=int(count),
+            selection=selection.strip(),
+            epoch_instructions=2_000_000,
+        )
+    if name == "plru":
+        return TreePLRUPolicy(), None
+    if name == "cost-plru":
+        return CostAwareTreePLRUPolicy(), None
+    if name == "lip":
+        return LIPPolicy(), None
+    if name == "bip":
+        return BIPPolicy(), None
+    if name == "dip":
+        n_leaders = min(32, max(8, n_sets // 16))
+        return None, DIPController(n_sets, assoc, n_leaders=n_leaders)
+    if name == "tournament":
+        # A representative three-way field: recency, cost, insertion.
+        return None, TournamentController(
+            n_sets,
+            [LRUPolicy(), LINPolicy(4), BIPPolicy()],
+            n_leaders_per_policy=max(1, min(16, n_sets // 32)),
+        )
+    if name == "cbs-local":
+        return None, CBSController(n_sets, assoc, scope="local")
+    if name == "cbs-global":
+        return None, CBSController(n_sets, assoc, scope="global")
+    raise ValueError("unknown policy spec %r" % (spec,))
+
+
+class Simulator:
+    """One configured machine, reusable for a single :meth:`run`.
+
+    Args:
+        config: machine description; defaults to the Table 2 baseline.
+        policy: L2 replacement specification (see :func:`build_l2_policy`).
+        phase_interval: if set, cut a :class:`PhaseSample` every this
+            many instructions (Figure 11 uses 10M on the real machine).
+        warmup_instructions: if set, caches/predictors train normally
+            but the reported statistics (misses, cost distribution,
+            deltas, IPC window) start after this many instructions —
+            the warm-up counterpart of the paper's fast-forwarding.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        policy: PolicyLike = "lru",
+        phase_interval: Optional[int] = None,
+        prefetcher=None,
+        warmup_instructions: int = 0,
+    ) -> None:
+        self.config = config or baseline_config()
+        fixed, controller = build_l2_policy(policy, self.config)
+        self.controller = controller
+        self._policy_label = (
+            controller.name if controller is not None else fixed.name
+        )
+        self.window = WindowModel(
+            self.config.processor.issue_width,
+            self.config.processor.window_size,
+        )
+        self.store_buffer = StoreBuffer(self.config.processor.store_buffer_size)
+        self.l1d = SetAssociativeCache(
+            self.config.l1d, LRUPolicy(), track_compulsory=False
+        )
+        self.l1i = SetAssociativeCache(
+            self.config.l1i, LRUPolicy(), track_compulsory=False
+        )
+        selector = controller.policy_for_set if controller is not None else None
+        self.l2 = SetAssociativeCache(
+            self.config.l2,
+            fixed if fixed is not None else LRUPolicy(),
+            policy_selector=selector,
+        )
+        self.mshr = MSHRFile(
+            self.config.mshr.n_entries, self.config.mshr.n_cost_adders
+        )
+        self.memory = MemoryController(self.config.memory)
+        self.delta = DeltaTracker()
+        self.cost_distribution = CostDistribution()
+        self.phase_interval = phase_interval
+        self.phases: List[PhaseSample] = []
+        self.demand_misses = 0
+        self.compulsory_misses = 0
+        #: Optional StridePrefetcher (or anything with observe(block)).
+        #: Prefetch fills occupy the MSHR, banks, and bus and install
+        #: tags, but are non-demand: excluded from Algorithm 1's N,
+        #: from miss statistics, and from PSEL updates.
+        self.prefetcher = prefetcher
+        self.prefetches_issued = 0
+        self.prefetch_hits_suppressed = 0
+        if warmup_instructions < 0:
+            raise ValueError("warm-up length cannot be negative")
+        self.warmup_instructions = warmup_instructions
+        self._warm = warmup_instructions == 0
+        self._warmup_end_cycle = 0.0
+        self._warmup_end_instruction = 0
+        self._ran = False
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self, trace) -> SimResult:
+        """Simulate ``trace`` (a sequence of :class:`Access`) to completion."""
+        if self._ran:
+            raise RuntimeError("a Simulator instance runs exactly one trace")
+        self._ran = True
+
+        window = self.window
+        controller = self.controller
+        block_bits = self.config.block_bits
+        phase_interval = self.phase_interval
+        current_phase: Optional[PhaseSample] = None
+        if phase_interval:
+            current_phase = PhaseSample(start_instruction=0, start_cycle=0.0)
+            self.phases.append(current_phase)
+
+        for access in trace:
+            if access.wrong_path:
+                # Wrong-path references disturb the caches and memory
+                # timing but never the committed instruction stream.
+                self._access_hierarchy(
+                    access.address >> block_bits,
+                    access.kind,
+                    window.now,
+                    demand=False,
+                    phase=None,
+                )
+                continue
+
+            dispatch = window.advance(access.gap)
+            instr_index = window.instructions
+            if not self._warm and instr_index >= self.warmup_instructions:
+                self._finish_warmup(instr_index, dispatch)
+            if controller is not None:
+                controller.note_instructions(instr_index)
+            if phase_interval and instr_index // phase_interval != (
+                current_phase.start_instruction // phase_interval
+            ):
+                current_phase.end_instruction = instr_index
+                current_phase.end_cycle = dispatch
+                current_phase = PhaseSample(
+                    start_instruction=instr_index, start_cycle=dispatch
+                )
+                self.phases.append(current_phase)
+
+            completion = self._access_hierarchy(
+                access.address >> block_bits,
+                access.kind,
+                dispatch,
+                demand=True,
+                phase=current_phase,
+            )
+            if access.kind == STORE:
+                admitted = self.store_buffer.admit(dispatch, completion)
+                if admitted > dispatch:
+                    window.stall_until(admitted)
+            else:
+                window.complete_memory_op(completion)
+
+        self.mshr.drain()
+        return self._finalize(current_phase)
+
+    # -- hierarchy --------------------------------------------------------
+
+    def _access_hierarchy(
+        self,
+        block: int,
+        kind: int,
+        when: float,
+        demand: bool,
+        phase: Optional[PhaseSample],
+    ) -> float:
+        """Send one access down L1 -> L2 -> memory; return completion time."""
+        config = self.config
+        # Finalize the cost of every miss serviced before this access so
+        # replacement sees up-to-date cost_q values (the hardware writes
+        # cost into the tag store at service completion, Section 5).
+        self.mshr.advance_to(when)
+        l1 = self.l1i if kind == IFETCH else self.l1d
+        is_store = kind == STORE
+        r1 = l1.access(block, is_write=is_store)
+        l1_done = when + l1.geometry.hit_latency
+        if r1.hit:
+            return l1_done
+        if r1.victim_dirty:
+            self._l1_writeback(r1.victim_block, when)
+
+        l2 = self.l2
+        r2 = l2.access(block)
+        pending: Optional[Callable[[int], None]] = None
+        if demand and self.controller is not None:
+            pending = self.controller.observe_access(r2.set_index, block, r2)
+
+        if r2.hit:
+            # A tag hit may still be an in-flight line (hit-under-miss
+            # to the same block): the access completes no earlier than
+            # the outstanding fill.
+            completion = l1_done + config.l2.hit_latency
+            in_flight = self.mshr.lookup(block, l1_done)
+            if in_flight is not None and in_flight > completion:
+                completion = in_flight
+            assert pending is None, "controllers defer only on MTD misses"
+            return completion
+
+        # L2 miss path.
+        if r2.victim_dirty:
+            self.memory.write_line(r2.victim_block, l1_done)
+        if r2.victim_block is not None:
+            # Enforce inclusion: the victim leaves the L1s as well.
+            self.l1d.invalidate(r2.victim_block)
+            self.l1i.invalidate(r2.victim_block)
+
+        if demand and self._warm:
+            self.demand_misses += 1
+            if r2.compulsory:
+                self.compulsory_misses += 1
+            if phase is not None:
+                phase.misses += 1
+
+        in_flight = self.mshr.lookup(block, l1_done)
+        if in_flight is not None:
+            # The line's tag was evicted while its fill was still in
+            # flight and is now re-requested: merge with the old fill.
+            if pending is not None:
+                pending(0)
+            return max(in_flight, l1_done + config.l2.hit_latency)
+
+        raw_issue = l1_done + config.l2.hit_latency
+        issue = self.mshr.admission_time(raw_issue)
+        if issue < self.mshr.sweep_time:
+            issue = self.mshr.sweep_time
+        completion = self.memory.read_line(block, issue)
+        on_cost = None
+        if demand:
+            on_cost = self._make_cost_sink(
+                block, r2.state, pending, phase, record_stats=self._warm
+            )
+        self.mshr.allocate(block, issue, completion, demand, on_cost)
+        if demand and self.prefetcher is not None:
+            for candidate in self.prefetcher.observe(block):
+                self._prefetch_block(candidate, issue)
+        return completion
+
+    def _prefetch_block(self, block: int, when: float) -> None:
+        """Issue one non-demand prefetch into the L2."""
+        if self.l2.contains(block) or self.mshr.in_flight(block, when):
+            self.prefetch_hits_suppressed += 1
+            return
+        issue = self.mshr.admission_time(when)
+        if issue < self.mshr.sweep_time:
+            issue = self.mshr.sweep_time
+        completion = self.memory.read_line(block, issue)
+        self.mshr.allocate(block, issue, completion, is_demand=False)
+        result = self.l2.access(block)
+        if result.victim_dirty:
+            self.memory.write_line(result.victim_block, issue)
+        if result.victim_block is not None:
+            self.l1d.invalidate(result.victim_block)
+            self.l1i.invalidate(result.victim_block)
+        self.prefetches_issued += 1
+
+    def _make_cost_sink(self, block, state, pending, phase, record_stats=True):
+        """Callback run when the MSHR sweep services this miss.
+
+        ``record_stats=False`` (warm-up misses) still writes cost_q to
+        the tag and drives PSEL — the mechanism must behave identically
+        — but keeps the miss out of the reported distributions.
+        """
+        distribution = self.cost_distribution
+        delta = self.delta
+
+        def on_cost(cost: float) -> None:
+            cost_q = quantize_cost(cost)
+            state.cost_q = cost_q
+            if record_stats:
+                distribution.record(cost)
+                delta.record(block, cost)
+                if phase is not None:
+                    phase.cost_q_sum += cost_q
+                    phase.cost_count += 1
+            if pending is not None:
+                pending(cost_q)
+
+        return on_cost
+
+    def _finish_warmup(self, instr_index: int, cycle: float) -> None:
+        """Reset reported statistics at the warm-up boundary."""
+        self._warm = True
+        self._warmup_end_instruction = instr_index
+        self._warmup_end_cycle = cycle
+        window = self.window
+        self._warmup_stall_events = window.stall_events
+        self._warmup_long_stalls = window.long_stalls
+        self._warmup_stall_cycles = window.stall_cycles
+        self._warmup_l2_accesses = self.l2.accesses
+        self._warmup_l2_misses = self.l2.misses
+
+    def _l1_writeback(self, block: int, when: float) -> None:
+        """An L1 victim writes back into the L2 without recency update."""
+        resident = self.l2.set_state(self.l2.set_index(block)).get(block)
+        if resident is not None:
+            resident.dirty = True
+        else:
+            # Not in L2 (inclusion was broken by an L2 eviction racing
+            # the dirty line): write through to memory, timing only.
+            self.memory.write_line(block, when)
+
+    # -- results ----------------------------------------------------------
+
+    def _finalize(self, current_phase: Optional[PhaseSample]) -> SimResult:
+        window = self.window
+        cycles = window.finish()
+        if current_phase is not None:
+            current_phase.end_instruction = window.instructions
+            current_phase.end_cycle = cycles
+            if current_phase.instructions == 0 and len(self.phases) > 1:
+                # The final access opened a zero-length phase; fold its
+                # activity into the previous sample instead of losing it.
+                tail = self.phases.pop()
+                previous = self.phases[-1]
+                previous.misses += tail.misses
+                previous.cost_q_sum += tail.cost_q_sum
+                previous.cost_count += tail.cost_count
+        psel_final = None
+        if isinstance(self.controller, SBARController):
+            psel_final = self.controller.psel.value
+        instructions = window.instructions - self._warmup_end_instruction
+        cycles -= self._warmup_end_cycle
+        stall_events = window.stall_events - getattr(
+            self, "_warmup_stall_events", 0
+        )
+        long_stalls = window.long_stalls - getattr(
+            self, "_warmup_long_stalls", 0
+        )
+        stall_cycles = window.stall_cycles - getattr(
+            self, "_warmup_stall_cycles", 0.0
+        )
+        return SimResult(
+            policy_name=self._policy_label,
+            instructions=instructions,
+            cycles=cycles,
+            l2_accesses=self.l2.accesses
+            - getattr(self, "_warmup_l2_accesses", 0),
+            l2_misses=self.l2.misses - getattr(self, "_warmup_l2_misses", 0),
+            demand_misses=self.demand_misses,
+            compulsory_misses=self.compulsory_misses,
+            stall_events=stall_events,
+            stall_cycles=stall_cycles,
+            long_stalls=long_stalls,
+            cost_distribution=self.cost_distribution,
+            delta_summary=self.delta.summary(),
+            phases=self.phases,
+            l1d_accesses=self.l1d.accesses,
+            l1d_misses=self.l1d.misses,
+            mshr_merges=self.mshr.merges,
+            mshr_full_stalls=self.mshr.full_stalls,
+            bank_conflicts=self.memory.banks.conflicts,
+            bus_contended=self.memory.bus.contended,
+            writebacks=self.l2.writebacks,
+            psel_final=psel_final,
+        )

@@ -1,0 +1,178 @@
+"""Suite runner: benchmark x policy matrices with machine-readable output.
+
+Downstream users typically want the whole comparison grid, not single
+runs.  :func:`run_suite` executes a (benchmarks x policies) matrix —
+reusing the per-process result cache — and returns a
+:class:`SuiteResult` that renders as text, JSON, or CSV, so results
+can feed external plotting without re-simulation.
+
+CLI::
+
+    python -m repro.sim.suite --policies lru,lin(4),sbar --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.runner import ipc_improvement, run_policy
+from repro.sim.stats import SimResult
+from repro.workloads import BENCHMARKS
+
+DEFAULT_POLICIES = ("lru", "lin(4)", "sbar")
+
+#: Scalar fields exported per run.
+EXPORT_FIELDS = (
+    "ipc",
+    "instructions",
+    "cycles",
+    "demand_misses",
+    "mpki",
+    "compulsory_misses",
+    "long_stalls",
+    "stall_cycles",
+    "avg_mlp_cost",
+    "writebacks",
+)
+
+
+@dataclass
+class SuiteResult:
+    """Results of one suite run, indexed [benchmark][policy]."""
+
+    policies: List[str]
+    benchmarks: List[str]
+    results: Dict[str, Dict[str, SimResult]]
+    scale: Optional[float]
+
+    def result(self, benchmark: str, policy: str) -> SimResult:
+        return self.results[benchmark][policy]
+
+    def improvement(self, benchmark: str, policy: str) -> float:
+        """IPC improvement over the first policy in the matrix."""
+        baseline = self.results[benchmark][self.policies[0]]
+        return ipc_improvement(self.results[benchmark][policy], baseline)
+
+    # -- renderings -----------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat list of dicts, one per (benchmark, policy) run."""
+        rows: List[Dict[str, object]] = []
+        for benchmark in self.benchmarks:
+            for policy in self.policies:
+                result = self.results[benchmark][policy]
+                row: Dict[str, object] = {
+                    "benchmark": benchmark,
+                    "policy": policy,
+                    "ipc_improvement_pct": round(
+                        self.improvement(benchmark, policy), 3
+                    ),
+                }
+                for field in EXPORT_FIELDS:
+                    row[field] = getattr(result, field)
+                row["cost_histogram_pct"] = [
+                    round(p, 3)
+                    for p in result.cost_distribution.percentages
+                ]
+                rows.append(row)
+        return rows
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"scale": self.scale, "runs": self.to_rows()}, indent=2
+        )
+
+    def to_csv(self) -> str:
+        rows = self.to_rows()
+        for row in rows:
+            row["cost_histogram_pct"] = "|".join(
+                str(v) for v in row["cost_histogram_pct"]
+            )
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue()
+
+    def to_text(self) -> str:
+        lines = ["%-10s" % "benchmark" + "".join(
+            "%14s" % policy for policy in self.policies
+        )]
+        for benchmark in self.benchmarks:
+            cells = []
+            for policy in self.policies:
+                result = self.results[benchmark][policy]
+                if policy == self.policies[0]:
+                    cells.append("%14s" % ("IPC %.4f" % result.ipc))
+                else:
+                    cells.append(
+                        "%14s" % ("%+.1f%%" % self.improvement(benchmark, policy))
+                    )
+            lines.append("%-10s" % benchmark + "".join(cells))
+        return "\n".join(lines)
+
+
+def run_suite(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+) -> SuiteResult:
+    """Run the matrix; the first policy is the baseline column."""
+    if not policies:
+        raise ValueError("need at least one policy")
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+    results: Dict[str, Dict[str, SimResult]] = {}
+    for benchmark in names:
+        results[benchmark] = {}
+        for policy in policies:
+            results[benchmark][policy] = run_policy(
+                benchmark, policy, scale=scale
+            )
+    return SuiteResult(
+        policies=list(policies),
+        benchmarks=names,
+        results=results,
+        scale=scale,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.suite",
+        description="Run a benchmark x policy matrix.",
+    )
+    parser.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES),
+        help="comma-separated policy specs (first = baseline)",
+    )
+    parser.add_argument("--benchmarks", default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--json", metavar="FILE", default=None)
+    parser.add_argument("--csv", metavar="FILE", default=None)
+    args = parser.parse_args(argv)
+
+    suite = run_suite(
+        policies=args.policies.split(","),
+        benchmarks=args.benchmarks.split(",") if args.benchmarks else None,
+        scale=args.scale,
+    )
+    print(suite.to_text())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(suite.to_json())
+        print("wrote %s" % args.json)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(suite.to_csv())
+        print("wrote %s" % args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

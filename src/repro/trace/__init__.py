@@ -1,0 +1,43 @@
+"""Trace substrate: access records and synthetic trace construction.
+
+A *trace* is a sequence of :class:`~repro.trace.record.Access` objects.
+Each access carries the number of non-memory instructions that precede it
+(``gap``), so a trace compactly represents a full dynamic instruction
+stream without storing every ALU instruction.
+"""
+
+from repro.trace.record import (
+    IFETCH,
+    LOAD,
+    STORE,
+    Access,
+    Trace,
+    kind_name,
+)
+from repro.trace.synthetic import (
+    TraceBuilder,
+    interleave,
+    pointer_chase,
+    random_working_set,
+    strided_stream,
+)
+from repro.trace.figure1 import figure1_trace, FIGURE1_BLOCKS
+from repro.trace.trace_io import load_trace, save_trace
+
+__all__ = [
+    "Access",
+    "Trace",
+    "LOAD",
+    "STORE",
+    "IFETCH",
+    "kind_name",
+    "TraceBuilder",
+    "strided_stream",
+    "pointer_chase",
+    "random_working_set",
+    "interleave",
+    "figure1_trace",
+    "FIGURE1_BLOCKS",
+    "save_trace",
+    "load_trace",
+]

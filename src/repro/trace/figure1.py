@@ -1,0 +1,75 @@
+"""The motivating example of Figure 1.
+
+One loop iteration touches eleven blocks::
+
+    A   P1 P2 P3 P4   B   P4 P3 P2 P1   C   S1   D   S2   E   S3   A ...
+
+Points A..E are separated by at least one instruction window (K > 4 in
+the paper's notation; 128 on the Table 2 machine), so:
+
+* misses among the P-blocks of one segment are serviced in parallel, and
+* misses to S1, S2, S3 are isolated.
+
+On a fully-associative four-block cache, the paper shows per iteration
+(after warm-up):
+
+=================  ======  ======
+policy             misses  stalls
+=================  ======  ======
+Belady's OPT          4       4
+MLP-aware (LIN)       6       2
+LRU                   6       4
+=================  ======  ======
+
+:func:`figure1_trace` reproduces this access stream exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.record import LOAD, Access, Trace
+from repro.trace.synthetic import BURST_GAP, ISOLATING_GAP
+
+#: Symbolic block names in iteration order, one entry per access.
+FIGURE1_PATTERN = (
+    "P1", "P2", "P3", "P4",
+    "P4", "P3", "P2", "P1",
+    "S1", "S2", "S3",
+)
+
+#: Block-number assignment for the seven distinct blocks.
+FIGURE1_BLOCKS: Dict[str, int] = {
+    "P1": 0, "P2": 1, "P3": 2, "P4": 3,
+    "S1": 4, "S2": 5, "S3": 6,
+}
+
+#: Indices (within one iteration) where a new >=K-instruction interval
+#: begins: the A, B, C, D, E points of Figure 1(a).
+_SEGMENT_STARTS = frozenset({0, 4, 8, 9, 10})
+
+
+def figure1_trace(iterations: int, line_bytes: int = 64) -> Trace:
+    """Build ``iterations`` loop iterations of the Figure 1 stream.
+
+    Accesses at segment boundaries carry an isolating gap (> window
+    size); accesses within the P-bursts carry a small gap so their
+    misses overlap.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    trace: List[Access] = []
+    for _ in range(iterations):
+        for index, name in enumerate(FIGURE1_PATTERN):
+            gap = ISOLATING_GAP if index in _SEGMENT_STARTS else BURST_GAP
+            trace.append(
+                Access(FIGURE1_BLOCKS[name] * line_bytes, LOAD, gap)
+            )
+    return trace
+
+
+def block_names(line_bytes: int = 64):
+    """Map byte address back to the symbolic Figure 1 name."""
+    return {
+        number * line_bytes: name for name, number in FIGURE1_BLOCKS.items()
+    }

@@ -1,0 +1,69 @@
+"""Trace persistence: save/load access traces as compact npz files.
+
+Surrogate traces are deterministic, but saving them is useful for
+sharing exact inputs across machines, for diffing generator versions,
+and for feeding externally captured traces into the simulator.  The
+format is four parallel numpy arrays (address, kind, gap, wrong_path)
+plus a format version.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.trace.record import Access, Trace
+
+#: Bump when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def save_trace(path: str, trace: Trace) -> None:
+    """Write a trace to ``path`` (numpy .npz, compressed)."""
+    addresses = np.fromiter(
+        (access.address for access in trace), dtype=np.int64, count=len(trace)
+    )
+    kinds = np.fromiter(
+        (access.kind for access in trace), dtype=np.int8, count=len(trace)
+    )
+    gaps = np.fromiter(
+        (access.gap for access in trace), dtype=np.int32, count=len(trace)
+    )
+    wrong = np.fromiter(
+        (access.wrong_path for access in trace), dtype=bool, count=len(trace)
+    )
+    np.savez_compressed(
+        path,
+        version=np.int32(FORMAT_VERSION),
+        address=addresses,
+        kind=kinds,
+        gap=gaps,
+        wrong_path=wrong,
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                "trace file %s has format version %d; this build reads %d"
+                % (path, version, FORMAT_VERSION)
+            )
+        addresses = data["address"]
+        kinds = data["kind"]
+        gaps = data["gap"]
+        wrong = data["wrong_path"]
+    trace: List[Access] = []
+    for index in range(len(addresses)):
+        trace.append(
+            Access(
+                int(addresses[index]),
+                int(kinds[index]),
+                int(gaps[index]),
+                bool(wrong[index]),
+            )
+        )
+    return trace

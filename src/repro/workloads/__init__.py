@@ -1,0 +1,45 @@
+"""SPEC CPU2000 surrogate workloads.
+
+The paper evaluates on 14 SPEC CPU2000 SimPoint slices.  Without the
+Alpha binaries and reference inputs, each benchmark is replaced by a
+parameterized synthetic *surrogate* whose generator is tuned to the
+benchmark's published fingerprint:
+
+* the mlp-cost distribution shape of Figure 2 (burst sizes and the
+  isolated-access fraction),
+* the delta predictability of Table 1 (context noise: blocks whose
+  parallelism context changes between visits),
+* the working-set-vs-cache relationship that determines whether LIN
+  helps (mcf, vpr, art, ...) or hurts (bzip2, parser, mgrid), and
+* phase structure (ammp's two alternating phases, Section 7.1).
+
+``build_trace(name)`` produces the surrogate trace;
+``experiment_config()`` is the Table 2 machine with the L2 scaled to
+256 KB so that working-set effects converge within Python-feasible
+trace lengths (see DESIGN.md section 2).
+"""
+
+from repro.workloads.engine import SurrogateSpec, generate_surrogate
+from repro.workloads.spec2000 import (
+    BENCHMARKS,
+    PAPER_FIG5,
+    PAPER_FIG9_SBAR,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    SPECS,
+    build_trace,
+    experiment_config,
+)
+
+__all__ = [
+    "SurrogateSpec",
+    "generate_surrogate",
+    "SPECS",
+    "BENCHMARKS",
+    "build_trace",
+    "experiment_config",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+    "PAPER_FIG5",
+    "PAPER_FIG9_SBAR",
+]

@@ -1,0 +1,405 @@
+"""Surrogate-trace generation engine.
+
+A surrogate is described by a :class:`SurrogateSpec` and emitted as a
+mixture of five traffic classes, each reproducing one ingredient of
+the paper's benchmark behaviours:
+
+* **P traffic** - bursts of spatially-sequential blocks from a
+  streaming pool.  Bursts are separated by a window-draining gap, so a
+  burst of size B that misses produces exactly B parallel misses
+  (MLP = B).  Cyclic pools (``p_random=False``) have deterministic
+  reuse with per-block-stable burst contexts (small deltas, and the
+  structure LIN's filtering exploits); random pools have stochastic
+  reuse that degrades gracefully under way-stealing.
+* **S traffic** - single accesses to a reused pool, isolated on both
+  sides by window-draining gaps: the savable isolated misses that LIN
+  protects (the mcf/vpr/sixtrack win mechanism).
+* **Transient traffic** - isolated touches to blocks never reused;
+  under LIN these acquire maximal cost_q and pollute sets.
+* **Cold random traffic** - a pool far larger than the cache visited
+  uniformly at random, isolated with probability ``random_isolated``:
+  unsavable stall mass plus the stale-cost pinning that produces the
+  bzip2/parser/mgrid LIN regressions.
+* **Flip traffic** - a pool folded onto a few self-thrashing sets
+  whose visit context alternates isolated/parallel every lap: the
+  controlled source of large Table 1 deltas (cost unpredictability).
+
+*Context noise* additionally makes a fraction of S visits ride inside
+a burst (and P visits occur isolated).
+
+Block-number name-spacing keeps all classes in disjoint ranges so
+instrumentation can attribute misses per class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.trace.record import LOAD, STORE, Access, Trace
+from repro.trace.synthetic import BURST_GAP, ISOLATING_GAP
+
+#: Name-space bases keeping traffic classes in disjoint block ranges.
+_S_BASE = 1 << 24
+_TRANSIENT_BASE = 1 << 25
+_RANDOM_BASE = 3 << 24
+_FLIP_BASE = 5 << 23
+_COMPANION_BASE = 7 << 23
+_PHASE_STRIDE = 1 << 26
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """Tunable description of one benchmark surrogate.
+
+    Pool sizes are expressed as fractions of the L2 block count so the
+    same spec scales with the experiment cache.
+    """
+
+    #: Memory accesses emitted at scale 1.0.
+    accesses: int = 150_000
+    #: P-pool size as a fraction of L2 blocks (streaming pool).
+    p_pool_factor: float = 1.5
+    #: Burst sizes cycled through for P traffic (MLP degrees).
+    burst_sizes: Tuple[int, ...] = (4,)
+    #: False: the P pool is swept cyclically (guaranteed reuse at a
+    #: fixed distance - the pattern LIN's filtering exploits fully).
+    #: True: bursts start at random pool offsets, so reuse distances
+    #: are stochastic and per-block protection pays off gradually.
+    p_random: bool = False
+    #: Fraction of accesses that are isolated S references.
+    mix_isolated: float = 0.15
+    #: S-pool size as a fraction of L2 blocks.
+    s_pool_factor: float = 0.2
+    #: Fraction of accesses that are isolated never-reused transients.
+    transient_rate: float = 0.0
+    #: Probability a visit happens in the "wrong" context (S in a
+    #: burst / P isolated), driving the Table 1 delta.
+    context_noise: float = 0.0
+    #: Cold random pool (as a fraction of L2 blocks): blocks drawn
+    #: uniformly, so any individual block's short-term reuse probability
+    #: is near zero.  High-cost visits to this pool are what LIN
+    #: wrongly protects in the bzip2/parser/mgrid family.
+    random_pool_factor: float = 0.0
+    #: Fraction of accesses that go to the cold random pool.
+    mix_random: float = 0.0
+    #: Probability a cold-pool visit is isolated (cost ~444) rather
+    #: than embedded in a parallel burst (cost ~444/3); revisits flip
+    #: contexts at random, producing large Table 1 deltas.
+    random_isolated: float = 0.7
+    #: Fraction of accesses that are stores.
+    store_fraction: float = 0.05
+    #: Restrict all traffic to a sub-range of sets: (start, width) as
+    #: fractions of the set count.  None = uniform over all sets.
+    set_skew: Optional[Tuple[float, float]] = None
+    #: Flip pool: blocks revisited round-robin whose context alternates
+    #: every lap between isolated (cost ~444) and burst-embedded
+    #: (cost ~150).  Every revisit is a miss with a large Table 1 delta;
+    #: this is the controlled source of cost unpredictability.
+    flip_pool_factor: float = 0.5
+    #: Fraction of accesses that go to the flip pool.
+    mix_flip: float = 0.0
+    #: Alternating phases: (spec, accesses_per_visit) entries cycled
+    #: until the access budget is spent.  Outer spec fields other than
+    #: ``accesses`` are ignored when phases are present.
+    phases: Optional[Tuple[Tuple["SurrogateSpec", int], ...]] = None
+
+    def scaled(self, scale: float) -> "SurrogateSpec":
+        """Scale the access budget (and phase visit lengths) together.
+
+        Phase quotas must shrink with the budget or a scaled-down trace
+        would degenerate to a single phase.
+        """
+        phases = self.phases
+        if phases is not None and scale < 1.0:
+            phases = tuple(
+                (phase_spec, max(1, int(quota * scale)))
+                for phase_spec, quota in phases
+            )
+        return replace(
+            self,
+            accesses=max(1, int(self.accesses * scale)),
+            phases=phases,
+        )
+
+
+class _PhaseState:
+    """Mutable pools and cursors for one phase's traffic."""
+
+    def __init__(
+        self,
+        spec: SurrogateSpec,
+        l2_blocks: int,
+        rng: random.Random,
+        namespace: int,
+    ) -> None:
+        self.spec = spec
+        base = namespace * _PHASE_STRIDE
+        pattern = sum(spec.burst_sizes)
+        pool = max(pattern, int(spec.p_pool_factor * l2_blocks))
+        if not spec.p_random:
+            # Round cyclic pools to a whole number of burst patterns so
+            # every lap regroups identically: each block keeps the same
+            # parallelism context visit after visit (small deltas).
+            pool = max(pattern, (pool // pattern) * pattern)
+        self.p_pool = pool
+        self.burst_rotation = 0
+        self.p_base = base
+        self.p_cursor = 0
+        s_pool = max(0, int(spec.s_pool_factor * l2_blocks))
+        self.s_blocks: List[int] = [
+            base + _S_BASE + index for index in range(s_pool)
+        ]
+        rng.shuffle(self.s_blocks)
+        self.s_cursor = 0
+        self.transient_base = base + _TRANSIENT_BASE
+        self.transients_used = 0
+        self.random_base = base + _RANDOM_BASE
+        self.random_pool = max(0, int(spec.random_pool_factor * l2_blocks))
+        flip_pool = 0
+        if spec.mix_flip > 0:
+            flip_pool = max(1, int(spec.flip_pool_factor * l2_blocks))
+        self.flip_base = base + _FLIP_BASE
+        self.flip_pool = flip_pool
+        self.flip_cursor = 0
+        self.flip_lap = 0
+        self.companion_base = base + _COMPANION_BASE
+        self.companions_used = 0
+
+    def next_p_blocks(self, count: int, rng: random.Random) -> List[int]:
+        if self.spec.p_random:
+            # Spatially sequential burst at a random pool offset.
+            start = rng.randrange(self.p_pool)
+            return [
+                self.p_base + (start + index) % self.p_pool
+                for index in range(count)
+            ]
+        blocks = []
+        for _ in range(count):
+            blocks.append(self.p_base + self.p_cursor)
+            self.p_cursor = (self.p_cursor + 1) % self.p_pool
+        return blocks
+
+    def next_s_block(self) -> Optional[int]:
+        if not self.s_blocks:
+            return None
+        block = self.s_blocks[self.s_cursor]
+        self.s_cursor = (self.s_cursor + 1) % len(self.s_blocks)
+        return block
+
+    def next_transient(self) -> int:
+        block = self.transient_base + self.transients_used
+        self.transients_used += 1
+        return block
+
+    def random_block(self, rng: random.Random) -> Optional[int]:
+        if not self.random_pool:
+            return None
+        return self.random_base + rng.randrange(self.random_pool)
+
+    #: Flip blocks per cache set: far above the 16-way associativity so
+    #: the flip pool thrashes its sets and *re-misses* on every lap
+    #: (a resident flip block would stop producing deltas, and a pool
+    #: close to the associativity would be mostly LIN-protectable).
+    FLIP_BLOCKS_PER_SET = 64
+
+    #: Set-stride for flip lanes; a multiple of any power-of-two set
+    #: count up to 64K, so all lanes of one offset share a cache set.
+    FLIP_LANE_STRIDE = 1 << 16
+
+    def next_flip_block(self) -> Tuple[int, bool]:
+        """Next flip-pool block and whether this lap is the isolated one.
+
+        The pool is folded onto a few cache sets (FLIP_BLOCKS_PER_SET
+        blocks each) so consecutive laps always miss.
+        """
+        spread = max(1, self.flip_pool // self.FLIP_BLOCKS_PER_SET)
+        lane, offset = divmod(self.flip_cursor, spread)
+        block = self.flip_base + offset + lane * self.FLIP_LANE_STRIDE
+        self.flip_cursor += 1
+        if self.flip_cursor >= self.flip_pool:
+            self.flip_cursor = 0
+            self.flip_lap += 1
+        return block, self.flip_lap % 2 == 0
+
+    def next_companions(self, count: int) -> List[int]:
+        """Fresh never-reused blocks that are guaranteed to miss.
+
+        Burst-context visits need real parallel misses next to them; a
+        companion drawn from a resident pool would hit and leave the
+        visit isolated after all.
+        """
+        start = self.companions_used
+        self.companions_used += count
+        return [self.companion_base + start + index for index in range(count)]
+
+    def next_burst_size(self) -> int:
+        sizes = self.spec.burst_sizes
+        burst = sizes[self.burst_rotation % len(sizes)]
+        self.burst_rotation += 1
+        return burst
+
+
+def _skew_block(block: int, n_sets: int, skew: Tuple[float, float]) -> int:
+    """Remap a block so its set index falls in a restricted range."""
+    start = int(skew[0] * n_sets)
+    width = max(1, int(skew[1] * n_sets))
+    lane, offset = divmod(block, width)
+    return lane * n_sets + start + offset
+
+
+def generate_surrogate(
+    spec: SurrogateSpec,
+    l2_blocks: int,
+    n_sets: int,
+    seed: int = 0,
+    line_bytes: int = 64,
+) -> Trace:
+    """Emit one surrogate trace.
+
+    The trace is deterministic in (spec, l2_blocks, n_sets, seed).
+    """
+    rng = random.Random(seed)
+    trace: List[Access] = []
+
+    if spec.phases:
+        schedule = list(spec.phases)
+        states = [
+            _PhaseState(phase_spec, l2_blocks, rng, index + 1)
+            for index, (phase_spec, _) in enumerate(schedule)
+        ]
+    else:
+        schedule = [(spec, spec.accesses)]
+        states = [_PhaseState(spec, l2_blocks, rng, 1)]
+
+    budget = spec.accesses
+    pending_gap = 0
+    phase_index = 0
+    while budget > 0:
+        phase_spec, quota = schedule[phase_index % len(schedule)]
+        state = states[phase_index % len(states)]
+        emitted = _emit_phase(
+            trace, phase_spec, state, min(quota, budget), rng,
+            n_sets, line_bytes, pending_gap,
+        )
+        pending_gap = 0
+        budget -= emitted
+        phase_index += 1
+    return trace
+
+
+def _draw_thresholds(
+    spec: SurrogateSpec,
+) -> Tuple[float, float, float, float]:
+    """Cumulative draw probabilities making mix_* *access* fractions.
+
+    A P draw emits a whole burst, so category draw weights are the
+    desired access fraction divided by the accesses one draw emits.
+    """
+    avg_burst = sum(spec.burst_sizes) / len(spec.burst_sizes)
+    cold_accesses = 1.0 + 2.0 * (1.0 - spec.random_isolated)
+    p_fraction = max(
+        0.0,
+        1.0 - spec.mix_isolated - spec.transient_rate
+        - spec.mix_random - spec.mix_flip,
+    )
+    weight_s = spec.mix_isolated
+    weight_t = spec.transient_rate
+    weight_r = spec.mix_random / cold_accesses
+    weight_f = spec.mix_flip / 2.0  # flip draws average ~2 accesses
+    weight_p = p_fraction / avg_burst
+    total = weight_s + weight_t + weight_r + weight_f + weight_p
+    if total <= 0:
+        raise ValueError("surrogate spec emits no traffic")
+    return (
+        weight_s / total,
+        (weight_s + weight_t) / total,
+        (weight_s + weight_t + weight_r) / total,
+        (weight_s + weight_t + weight_r + weight_f) / total,
+    )
+
+
+def _emit_phase(
+    trace: List[Access],
+    spec: SurrogateSpec,
+    state: _PhaseState,
+    quota: int,
+    rng: random.Random,
+    n_sets: int,
+    line_bytes: int,
+    pending_gap: int,
+) -> int:
+    """Emit up to ``quota`` accesses for one phase visit."""
+    emitted = 0
+    carry_gap = pending_gap
+    threshold_s, threshold_t, threshold_r, threshold_f = _draw_thresholds(spec)
+
+    store_threshold = int(spec.store_fraction * 100)
+
+    def push(block: int, gap: int) -> None:
+        nonlocal emitted, carry_gap
+        if spec.set_skew is not None:
+            block = _skew_block(block, n_sets, spec.set_skew)
+        # Store placement is a deterministic hash of the block so a
+        # given block keeps the same access kind on every visit; random
+        # placement would perturb the window-stall structure between
+        # laps and fabricate mlp-cost deltas out of thin air.
+        is_store = (block * 2654435761) % 100 < store_threshold
+        kind = STORE if is_store else LOAD
+        trace.append(Access(block * line_bytes, kind, gap + carry_gap))
+        carry_gap = 0
+        emitted += 1
+
+    while emitted < quota:
+        draw = rng.random()
+        if draw < threshold_s and state.s_blocks:
+            block = state.next_s_block()
+            if rng.random() < spec.context_noise:
+                # Wrong context: the S block rides inside a P burst and
+                # its miss is serviced in parallel (low cost this time).
+                push(block, ISOLATING_GAP)
+                for companion in state.next_companions(2):
+                    push(companion, BURST_GAP)
+                carry_gap = ISOLATING_GAP
+            else:
+                push(block, ISOLATING_GAP)
+                carry_gap = ISOLATING_GAP  # isolate on both sides
+        elif draw < threshold_t:
+            push(state.next_transient(), ISOLATING_GAP)
+            carry_gap = ISOLATING_GAP
+        elif draw < threshold_r and state.random_pool:
+            block = state.random_block(rng)
+            if rng.random() < spec.random_isolated:
+                push(block, ISOLATING_GAP)
+                carry_gap = ISOLATING_GAP
+            else:
+                # Cold-pool visit riding in a parallel burst.
+                push(block, ISOLATING_GAP)
+                for companion in state.next_companions(2):
+                    push(companion, BURST_GAP)
+                carry_gap = ISOLATING_GAP
+        elif draw < threshold_f and state.flip_pool:
+            block, isolated_lap = state.next_flip_block()
+            if isolated_lap:
+                push(block, ISOLATING_GAP)
+                carry_gap = ISOLATING_GAP
+            else:
+                push(block, ISOLATING_GAP)
+                for companion in state.next_companions(2):
+                    push(companion, BURST_GAP)
+                carry_gap = ISOLATING_GAP
+        else:
+            burst = state.next_burst_size()
+            blocks = state.next_p_blocks(burst, rng)
+            if rng.random() < spec.context_noise:
+                # Wrong context: the stream is visited one block at a
+                # time with window-draining gaps (isolated misses).
+                for block in blocks:
+                    push(block, ISOLATING_GAP)
+                carry_gap = ISOLATING_GAP
+            else:
+                push(blocks[0], ISOLATING_GAP)
+                for block in blocks[1:]:
+                    push(block, BURST_GAP)
+    return emitted

@@ -1,0 +1,41 @@
+"""Shared fixtures: small machines and crafted traces.
+
+Unit tests use deliberately tiny cache geometries so behaviors are
+hand-checkable; integration tests use the experiment machine at small
+trace scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    MachineConfig,
+    MemoryConfig,
+    MSHRConfig,
+    ProcessorConfig,
+)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """4 sets x 2 ways of 64B lines."""
+    return CacheGeometry(512, 64, 2, 1)
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A Table-2-shaped machine small enough for hand analysis.
+
+    One-block L1s (pass-through except consecutive repeats), a 4-set
+    4-way L2, the real memory system.
+    """
+    return MachineConfig(
+        processor=ProcessorConfig(),
+        l1i=CacheGeometry(64, 64, 1, 1),
+        l1d=CacheGeometry(64, 64, 1, 1),
+        l2=CacheGeometry(4 * 4 * 64, 64, 4, 15),
+        mshr=MSHRConfig(n_entries=32),
+        memory=MemoryConfig(),
+    )

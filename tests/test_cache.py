@@ -1,0 +1,200 @@
+"""Tests for cache sets, the tag store, and the sparse ATD."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import BlockState
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.cache.sets import CacheSet
+from repro.cache.tag_directory import SparseTagDirectory
+from repro.config import CacheGeometry
+
+
+class TestBlockState:
+    def test_defaults(self):
+        state = BlockState(42)
+        assert state.block == 42
+        assert not state.dirty
+        assert state.cost_q == 0
+
+    def test_repr_shows_dirty_flag(self):
+        state = BlockState(1)
+        state.dirty = True
+        assert "D" in repr(state)
+
+
+class TestCacheSet:
+    def test_recency_values(self):
+        cache_set = CacheSet(4)
+        # MRU position 0 has the highest recency value (paper's R).
+        assert cache_set.recency(0) == 3
+        assert cache_set.recency(3) == 0
+
+    def test_insert_and_find(self):
+        cache_set = CacheSet(2)
+        cache_set.insert_mru(BlockState(10))
+        cache_set.insert_mru(BlockState(20))
+        assert cache_set.find(20) == 0
+        assert cache_set.find(10) == 1
+        assert cache_set.find(99) == -1
+
+    def test_touch_moves_to_mru(self):
+        cache_set = CacheSet(3)
+        for block in (1, 2, 3):
+            cache_set.insert_mru(BlockState(block))
+        cache_set.touch(2)  # block 1
+        assert [w.block for w in cache_set.ways] == [1, 3, 2]
+
+    def test_insert_into_full_set_raises(self):
+        cache_set = CacheSet(1)
+        cache_set.insert_mru(BlockState(1))
+        with pytest.raises(RuntimeError):
+            cache_set.insert_mru(BlockState(2))
+
+    def test_evict(self):
+        cache_set = CacheSet(2)
+        cache_set.insert_mru(BlockState(1))
+        cache_set.insert_mru(BlockState(2))
+        victim = cache_set.evict(1)
+        assert victim.block == 1
+        assert len(cache_set) == 1
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSet(0)
+
+
+class TestSetAssociativeCache:
+    def geometry(self):
+        return CacheGeometry(4 * 2 * 64, 64, 2, 1)  # 4 sets x 2 ways
+
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        assert not cache.access(5).hit
+        assert cache.access(5).hit
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_set_mapping(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        assert cache.set_index(5) == 1
+        assert cache.set_index(9) == 1  # 9 % 4
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        cache.access(0)
+        cache.access(4)
+        result = cache.access(8)  # third block in set 0 evicts LRU (0)
+        assert result.victim_block == 0
+
+    def test_hit_refreshes_recency(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)  # refresh block 0
+        result = cache.access(8)
+        assert result.victim_block == 4
+
+    def test_dirty_victim_flagged_for_writeback(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        cache.access(0, is_write=True)
+        cache.access(4)
+        result = cache.access(8)
+        assert result.victim_block == 0
+        assert result.victim_dirty
+        assert cache.writebacks == 1
+
+    def test_compulsory_tracking(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        assert cache.access(0).compulsory
+        cache.access(4)
+        cache.access(8)  # evicts 0
+        result = cache.access(0)  # miss again, but not compulsory
+        assert not result.hit
+        assert not result.compulsory
+        assert cache.compulsory_misses == 3
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.invalidate(0)
+        assert not cache.access(0).hit
+
+    def test_contains_does_not_touch_recency(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        cache.access(0)
+        cache.access(4)
+        assert cache.contains(0)
+        result = cache.access(8)
+        assert result.victim_block == 0  # contains() didn't refresh it
+
+    def test_policy_selector_overrides_policy(self):
+        lin = LINPolicy(4)
+        lru = LRUPolicy()
+        seen = []
+
+        def selector(set_index):
+            seen.append(set_index)
+            return lin if set_index == 0 else lru
+
+        cache = SetAssociativeCache(
+            self.geometry(), lru, policy_selector=selector
+        )
+        cache.access(0)
+        cache.access(1)
+        assert seen == [0, 1]
+
+    def test_miss_rate(self):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
+    def test_invariants_under_random_access(self, blocks):
+        cache = SetAssociativeCache(self.geometry(), LRUPolicy())
+        for block in blocks:
+            cache.access(block)
+        # No set exceeds associativity; no duplicate blocks anywhere.
+        resident = cache.resident_blocks()
+        assert len(resident) <= cache.geometry.n_blocks
+        for set_index in range(cache.n_sets):
+            ways = cache.set_state(set_index).ways
+            assert len(ways) <= cache.geometry.associativity
+            assert len({w.block for w in ways}) == len(ways)
+            for way in ways:
+                assert way.block % cache.n_sets == set_index
+        # The most recent block is resident and hits.
+        assert cache.access(blocks[-1]).hit
+
+
+class TestSparseTagDirectory:
+    def test_shadows_only_given_sets(self):
+        atd = SparseTagDirectory([0, 2], 2, LRUPolicy())
+        assert atd.shadows(0)
+        assert not atd.shadows(1)
+        assert atd.n_sets == 2
+        assert atd.n_entries == 4
+
+    def test_hit_miss_protocol(self):
+        atd = SparseTagDirectory([0], 2, LRUPolicy())
+        assert not atd.access(0, 100).hit
+        assert atd.access(0, 100).hit
+        assert atd.hits == 1
+        assert atd.misses == 1
+
+    def test_internal_victimization(self):
+        atd = SparseTagDirectory([0], 2, LRUPolicy())
+        atd.access(0, 1)
+        atd.access(0, 2)
+        result = atd.access(0, 3)
+        assert result.victim_block == 1
+
+    def test_unshadowed_set_raises(self):
+        atd = SparseTagDirectory([0], 2, LRUPolicy())
+        with pytest.raises(KeyError):
+            atd.access(1, 5)

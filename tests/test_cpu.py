@@ -1,0 +1,222 @@
+"""Tests for the window timing model, store buffer, and branch predictors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.branch import (
+    BranchTargetBuffer,
+    GshareBranchPredictor,
+    HybridBranchPredictor,
+    PAsBranchPredictor,
+)
+from repro.cpu.store_buffer import StoreBuffer
+from repro.cpu.window import WindowModel
+
+
+class TestWindowModel:
+    def test_fetch_rate(self):
+        window = WindowModel(width=8, window_size=128)
+        t = window.advance(15)  # 16 instructions at 8/cycle
+        assert t == pytest.approx(2.0)
+        assert window.instructions == 16
+
+    def test_isolated_miss_stalls_at_window_edge(self):
+        window = WindowModel(width=8, window_size=128)
+        t0 = window.advance(0)  # instruction 1 dispatches
+        window.complete_memory_op(t0 + 444)
+        # The next access sits 200 instructions later: fetch must stall
+        # at instruction index 1+128 until the miss completes.
+        t1 = window.advance(199)
+        expected = (t0 + 444) + (201 - 129) / 8
+        assert t1 == pytest.approx(expected)
+        assert window.stall_events == 1
+        assert window.long_stalls == 1
+
+    def test_no_stall_when_completion_beats_fetch(self):
+        window = WindowModel(width=8, window_size=128)
+        t0 = window.advance(0)
+        window.complete_memory_op(t0 + 2)  # an L1 hit
+        window.advance(500)
+        assert window.stall_events == 0
+
+    def test_parallel_misses_share_one_stall(self):
+        window = WindowModel(width=8, window_size=128)
+        for _ in range(4):
+            t = window.advance(0)
+            window.complete_memory_op(t + 444)
+        window.advance(1000)
+        # All four misses complete ~together; one long stall.
+        assert window.long_stalls == 1
+
+    def test_serial_misses_stall_separately(self):
+        window = WindowModel(width=8, window_size=128)
+        for _ in range(3):
+            t = window.advance(200)  # window drains between misses
+            window.complete_memory_op(t + 444)
+        window.advance(1000)
+        assert window.long_stalls == 3
+
+    def test_in_order_retirement_uses_running_max(self):
+        window = WindowModel(width=8, window_size=16)
+        t0 = window.advance(0)
+        window.complete_memory_op(t0 + 1000)  # slow older op
+        t1 = window.advance(0)
+        window.complete_memory_op(t1 + 1)     # fast younger op
+        # The younger op cannot retire before the older one, so fetch
+        # past younger+16 still waits for the older op's completion.
+        t2 = window.advance(100)
+        assert t2 >= t0 + 1000
+
+    def test_stall_until(self):
+        window = WindowModel()
+        window.advance(0)
+        window.stall_until(500.0)
+        assert window.now == 500.0
+        assert window.long_stalls == 1
+
+    def test_finish_covers_outstanding_completions(self):
+        window = WindowModel()
+        t = window.advance(0)
+        window.complete_memory_op(t + 444)
+        assert window.finish() >= t + 444
+
+    def test_monotone_dispatch_times(self):
+        window = WindowModel()
+        last = 0.0
+        for gap in (0, 5, 130, 0, 260, 3):
+            t = window.advance(gap)
+            window.complete_memory_op(t + 100)
+            assert t >= last
+            last = t
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=50))
+    def test_time_and_index_monotone(self, gaps):
+        window = WindowModel()
+        previous_time = 0.0
+        previous_index = 0
+        for gap in gaps:
+            t = window.advance(gap)
+            window.complete_memory_op(t + 444)
+            assert t >= previous_time
+            assert window.instructions == previous_index + gap + 1
+            previous_time = t
+            previous_index = window.instructions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowModel(width=0)
+        with pytest.raises(ValueError):
+            WindowModel(window_size=0)
+
+
+class TestStoreBuffer:
+    def test_admit_when_space(self):
+        buffer = StoreBuffer(capacity=2)
+        assert buffer.admit(0.0, 444.0) == 0.0
+
+    def test_full_buffer_backpressures(self):
+        buffer = StoreBuffer(capacity=2)
+        buffer.admit(0.0, 100.0)
+        buffer.admit(0.0, 200.0)
+        admitted = buffer.admit(50.0, 300.0)
+        assert admitted == 100.0
+        assert buffer.full_stalls == 1
+
+    def test_drained_entries_free_space(self):
+        buffer = StoreBuffer(capacity=1)
+        buffer.admit(0.0, 100.0)
+        assert buffer.admit(150.0, 400.0) == 150.0
+        assert buffer.full_stalls == 0
+
+    def test_occupancy(self):
+        buffer = StoreBuffer(capacity=4)
+        buffer.admit(0.0, 100.0)
+        buffer.admit(0.0, 200.0)
+        assert buffer.occupancy_at(50.0) == 2
+        assert buffer.occupancy_at(150.0) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0)
+
+
+class TestBranchPredictors:
+    def test_gshare_learns_always_taken(self):
+        predictor = GshareBranchPredictor(1024)
+        # The global history register needs to saturate (all-taken)
+        # before the steady-state index is trained, hence > 10+2 updates.
+        for _ in range(20):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400)
+
+    def test_gshare_learns_alternating_with_history(self):
+        predictor = GshareBranchPredictor(1024)
+        outcomes = [True, False] * 200
+        for taken in outcomes:
+            predictor.update(0x400, taken)
+        # After training, the global history disambiguates the pattern.
+        late_wrong = 0
+        for taken in outcomes[-50:]:
+            if not predictor.update(0x400, taken):
+                late_wrong += 1
+        assert late_wrong <= 5
+
+    def test_pas_uses_local_history(self):
+        predictor = PAsBranchPredictor(4096, history_bits=4)
+        pattern = [True, True, False]
+        for _ in range(100):
+            for taken in pattern:
+                predictor.update(0x88, taken)
+        correct = 0
+        for _ in range(10):
+            for taken in pattern:
+                if predictor.update(0x88, taken):
+                    correct += 1
+        assert correct >= 27
+
+    def test_hybrid_tracks_better_component(self):
+        predictor = HybridBranchPredictor(1024, 1024, 1024)
+        for _ in range(200):
+            predictor.update(0x10, True)
+        assert predictor.predict(0x10)
+        assert predictor.misprediction_rate < 0.2
+
+    def test_hybrid_counts_predictions(self):
+        predictor = HybridBranchPredictor(64, 64, 64)
+        predictor.update(0, True)
+        assert predictor.predictions == 1
+
+    def test_counter_table_power_of_two(self):
+        with pytest.raises(ValueError):
+            GshareBranchPredictor(1000)
+
+
+class TestBTB:
+    def test_install_and_lookup(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.install(0x100, 0x200)
+        assert btb.lookup(0x100) == 0x200
+
+    def test_miss_returns_none(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x100) is None
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(16, 4)  # 4 sets
+        n_sets = btb.n_sets
+        pcs = [(i * n_sets) << 2 for i in range(5)]  # same set
+        for pc in pcs:
+            btb.install(pc, pc + 4)
+        assert btb.lookup(pcs[0]) is None  # oldest evicted
+        assert btb.lookup(pcs[4]) == pcs[4] + 4
+
+    def test_reinstall_updates_target(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.install(0x100, 0x200)
+        btb.install(0x100, 0x300)
+        assert btb.lookup(0x100) == 0x300
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4)

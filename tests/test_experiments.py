@@ -1,0 +1,138 @@
+"""Tests for the experiment harness: every report builds and renders.
+
+Data-driven experiments run on a drastically reduced benchmark subset
+and trace scale so the whole file stays fast; the full regeneration
+targets live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import (
+    Report,
+    fmt_pct,
+    histogram_bar,
+    resolve_benchmarks,
+)
+from repro.sim.runner import clear_cache
+
+TINY = dict(scale=0.05, benchmarks=["mcf", "parser"])
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCommon:
+    def test_report_renders_tables(self):
+        report = Report("x", "Title")
+        report.add_table(["a", "bb"], [(1, 2.5), ("row", None)])
+        text = report.render()
+        assert "Title" in text
+        assert "2.5" in text
+        assert "-" in text  # None cell
+
+    def test_fmt_pct(self):
+        assert fmt_pct(19.0) == "+19%"
+        assert fmt_pct(-3.3) == "-3.3%"
+        assert fmt_pct(0.0) == "0.0%"
+        assert fmt_pct(3.3, signed=False) == "3.3%"
+
+    def test_histogram_bar_monotone(self):
+        assert len(histogram_bar(50)) > len(histogram_bar(10))
+        assert histogram_bar(0) == ""
+
+    def test_resolve_benchmarks_default(self):
+        assert len(resolve_benchmarks(None)) == 14
+
+    def test_resolve_benchmarks_validates(self):
+        with pytest.raises(KeyError):
+            resolve_benchmarks(["nonsense"])
+
+
+class TestRegistry:
+    def test_paper_coverage(self):
+        # Every table and figure of the evaluation has an experiment.
+        for name in (
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure8", "figure9", "figure10", "figure11",
+            "table1", "table2", "table3", "cbs", "overhead",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_all_modules_expose_run(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+class TestCheapExperiments:
+    def test_figure3(self):
+        text = EXPERIMENTS["figure3"].run().render()
+        assert "420+ cycles" in text
+
+    def test_figure8(self):
+        text = EXPERIMENTS["figure8"].run().render()
+        assert "p=0.9" in text
+
+    def test_table2(self):
+        text = EXPERIMENTS["table2"].run().render()
+        assert "1024KB" in text or "1024 KB" in text.replace("KB", " KB")
+
+    def test_overhead(self):
+        text = EXPERIMENTS["overhead"].run().render()
+        assert "1854" in text
+
+
+class TestDataDrivenExperiments:
+    def test_figure2(self):
+        text = EXPERIMENTS["figure2"].run(**TINY).render()
+        assert "mcf" in text and "420+" in text
+
+    def test_table1(self):
+        text = EXPERIMENTS["table1"].run(**TINY).render()
+        assert "parser" in text
+
+    def test_table3(self):
+        text = EXPERIMENTS["table3"].run(**TINY).render()
+        assert "compulsory" in text
+
+    def test_figure4(self):
+        text = EXPERIMENTS["figure4"].run(**TINY).render()
+        assert "LIN(4)" in text
+
+    def test_figure5(self):
+        text = EXPERIMENTS["figure5"].run(**TINY).render()
+        assert "dMISS" in text
+
+    def test_figure9(self):
+        text = EXPERIMENTS["figure9"].run(**TINY).render()
+        assert "SBAR" in text
+
+    def test_figure10(self):
+        text = EXPERIMENTS["figure10"].run(
+            scale=0.05, benchmarks=["mcf"]
+        ).render()
+        assert "static/8" in text
+
+    def test_figure11(self):
+        text = EXPERIMENTS["figure11"].run(scale=0.2).render()
+        assert "IPC" in text and "lin(4)" in text
+
+    def test_cbs(self):
+        text = EXPERIMENTS["cbs"].run(
+            scale=0.05, benchmarks=["mcf"]
+        ).render()
+        assert "cbs-global" in text
+
+
+class TestFigure1Exact:
+    def test_paper_numbers_reproduced_exactly(self):
+        from repro.experiments.figure1 import PAPER, simulate_policy
+
+        for policy, (paper_misses, paper_stalls) in PAPER.items():
+            misses, stalls = simulate_policy(policy)
+            assert misses == pytest.approx(paper_misses, abs=0.05), policy
+            assert stalls == pytest.approx(paper_stalls, abs=0.05), policy

@@ -1,0 +1,130 @@
+"""Tests for trace persistence, the CLIs, and the stats helpers."""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.sim.__main__ import main as sim_main
+from repro.sim.stats import CostDistribution, PhaseSample
+from repro.trace.record import LOAD, STORE, Access
+from repro.trace.trace_io import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads import build_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = [
+            Access(0x1000, LOAD, 5),
+            Access(0x2040, STORE, 0),
+            Access(0x3000, LOAD, 200, wrong_path=True),
+        ]
+        path = str(tmp_path / "trace.npz")
+        save_trace(path, trace)
+        assert load_trace(path) == trace
+
+    def test_roundtrip_surrogate(self, tmp_path):
+        trace = build_trace("art", scale=0.02)
+        path = str(tmp_path / "art.npz")
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded[:50] == trace[:50]
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_version_check(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "bad.npz")
+        np.savez(
+            path,
+            version=np.int32(FORMAT_VERSION + 1),
+            address=np.array([], dtype=np.int64),
+            kind=np.array([], dtype=np.int8),
+            gap=np.array([], dtype=np.int32),
+            wrong_path=np.array([], dtype=bool),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestSimCLI:
+    def test_benchmark_run(self, capsys):
+        assert sim_main(
+            ["--benchmark", "lucas", "--policy", "lin(4)", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lin(4)" in out
+        assert "delta:" in out
+
+    def test_trace_file_run(self, tmp_path, capsys):
+        path = str(tmp_path / "t.npz")
+        save_trace(path, build_trace("lucas", scale=0.02))
+        assert sim_main(["--trace", path, "--policy", "lru"]) == 0
+        assert "lru" in capsys.readouterr().out
+
+    def test_phase_interval(self, capsys):
+        assert sim_main(
+            ["--benchmark", "lucas", "--policy", "sbar",
+             "--scale", "0.05", "--phase-interval", "100000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-interval IPC" in out
+        assert "final PSEL" in out
+
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            sim_main(["--policy", "lru"])
+
+
+class TestExperimentsCLI:
+    def test_single_experiment(self, capsys):
+        assert experiments_main(["figure3"]) == 0
+        assert "cost_q" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure99"])
+
+    def test_benchmark_filter(self, capsys):
+        assert experiments_main(
+            ["table1", "--scale", "0.05", "--benchmarks", "lucas"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lucas" in out
+        assert "mcf" not in out
+
+
+class TestStatsHelpers:
+    def test_cost_distribution_percentages(self):
+        distribution = CostDistribution()
+        for cost in (10, 450, 450, 450):
+            distribution.record(cost)
+        assert distribution.percentages[0] == 25.0
+        assert distribution.pct_isolated == 75.0
+        assert distribution.average == pytest.approx((10 + 3 * 450) / 4)
+
+    def test_cost_distribution_empty(self):
+        distribution = CostDistribution()
+        assert distribution.percentages == [0.0] * 8
+        assert distribution.pct_isolated == 0.0
+        assert distribution.average == 0.0
+
+    def test_phase_sample_metrics(self):
+        sample = PhaseSample(
+            start_instruction=1000, end_instruction=3000,
+            start_cycle=100.0, end_cycle=1100.0,
+            misses=10, cost_q_sum=35, cost_count=10,
+        )
+        assert sample.instructions == 2000
+        assert sample.ipc == pytest.approx(2.0)
+        assert sample.misses_per_1000 == pytest.approx(5.0)
+        assert sample.avg_cost_q == pytest.approx(3.5)
+
+    def test_phase_sample_degenerate(self):
+        sample = PhaseSample(start_instruction=0)
+        assert sample.ipc == 0.0
+        assert sample.misses_per_1000 == 0.0
+        assert sample.avg_cost_q == 0.0

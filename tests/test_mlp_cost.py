@@ -1,0 +1,144 @@
+"""Tests for the quantizer, reference Algorithm 1, and delta tracking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mlp.cost import (
+    MAX_COST_Q,
+    QUANTIZATION_STEP,
+    cost_histogram,
+    dequantize_cost,
+    histogram_bins,
+    quantize_cost,
+    reference_mlp_costs,
+)
+from repro.mlp.delta import DeltaTracker
+
+
+class TestQuantizer:
+    @pytest.mark.parametrize(
+        "cost,expected",
+        [(0, 0), (59.99, 0), (60, 1), (119, 1), (180, 3), (419, 6),
+         (420, 7), (444, 7), (99999, 7)],
+    )
+    def test_figure3b_intervals(self, cost, expected):
+        assert quantize_cost(cost) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            quantize_cost(-1)
+
+    @given(st.floats(min_value=0, max_value=10_000))
+    def test_range_is_three_bits(self, cost):
+        assert 0 <= quantize_cost(cost) <= MAX_COST_Q
+
+    @given(st.floats(min_value=0, max_value=5_000),
+           st.floats(min_value=0, max_value=5_000))
+    def test_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert quantize_cost(low) <= quantize_cost(high)
+
+    def test_dequantize_is_bucket_midpoint(self):
+        assert dequantize_cost(0) == QUANTIZATION_STEP / 2
+        assert dequantize_cost(3) == 3.5 * QUANTIZATION_STEP
+
+    def test_dequantize_range_check(self):
+        with pytest.raises(ValueError):
+            dequantize_cost(8)
+
+    @given(st.integers(min_value=0, max_value=MAX_COST_Q))
+    def test_dequantize_roundtrips(self, cost_q):
+        assert quantize_cost(dequantize_cost(cost_q)) == cost_q
+
+
+class TestReferenceModel:
+    def test_single_isolated_miss(self):
+        costs = reference_mlp_costs([(0, 444, True)])
+        assert costs == [444.0]
+
+    def test_two_fully_overlapped_misses_split_cost(self):
+        costs = reference_mlp_costs([(0, 444, True), (0, 444, True)])
+        assert costs == [222.0, 222.0]
+
+    def test_partial_overlap(self):
+        costs = reference_mlp_costs([(0, 100, True), (50, 150, True)])
+        # First: 50 alone + 50 shared; second: 50 shared + 50 alone.
+        assert costs[0] == pytest.approx(75.0)
+        assert costs[1] == pytest.approx(75.0)
+
+    def test_non_demand_excluded(self):
+        costs = reference_mlp_costs([(0, 100, True), (0, 100, False)])
+        assert costs == [100.0, 0.0]
+
+    def test_empty(self):
+        assert reference_mlp_costs([]) == []
+
+    def test_total_cost_equals_busy_cycles(self):
+        # Sum of costs == number of cycles with >= 1 demand miss live.
+        misses = [(0, 100, True), (50, 200, True), (300, 320, True)]
+        costs = reference_mlp_costs(misses)
+        assert sum(costs) == pytest.approx(200 + 20)
+
+
+class TestHistogram:
+    def test_bins_are_sixty_cycles(self):
+        bins = histogram_bins()
+        assert bins[0] == (0, 60)
+        assert bins[-1][1] == float("inf")
+
+    def test_cost_histogram_percentages(self):
+        hist = cost_histogram([30, 70, 500, 600])
+        assert hist[0] == 25.0
+        assert hist[1] == 25.0
+        assert hist[-1] == 50.0
+
+    def test_empty_histogram(self):
+        assert cost_histogram([]) == [0.0] * 8
+
+
+class TestDeltaTracker:
+    def test_paper_example(self):
+        # Block A with costs {444, 110, 220, 220}: deltas 334, 110, 0.
+        tracker = DeltaTracker()
+        for cost in (444, 110, 220, 220):
+            tracker.record(7, cost)
+        summary = tracker.summary()
+        assert summary.n_deltas == 3
+        assert summary.average == pytest.approx((334 + 110 + 0) / 3)
+
+    def test_buckets(self):
+        tracker = DeltaTracker()
+        tracker.record(1, 0)
+        tracker.record(1, 30)     # delta 30  -> <60
+        tracker.record(1, 130)    # delta 100 -> 60-119
+        tracker.record(1, 300)    # delta 170 -> >=120
+        summary = tracker.summary()
+        assert summary.pct_below_60 == pytest.approx(100 / 3)
+        assert summary.pct_60_to_119 == pytest.approx(100 / 3)
+        assert summary.pct_120_plus == pytest.approx(100 / 3)
+
+    def test_first_miss_produces_no_delta(self):
+        tracker = DeltaTracker()
+        tracker.record(1, 444)
+        tracker.record(2, 444)
+        assert tracker.summary().n_deltas == 0
+        assert tracker.tracked_blocks == 2
+
+    def test_empty_summary(self):
+        summary = DeltaTracker().summary()
+        assert summary.n_deltas == 0
+        assert summary.average == 0.0
+
+    def test_blocks_are_independent(self):
+        tracker = DeltaTracker()
+        tracker.record(1, 100)
+        tracker.record(2, 400)
+        tracker.record(1, 100)
+        assert tracker.summary().average == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=444), min_size=2, max_size=20))
+    def test_delta_count_is_visits_minus_one(self, costs):
+        tracker = DeltaTracker()
+        for cost in costs:
+            tracker.record(42, cost)
+        assert tracker.summary().n_deltas == len(costs) - 1

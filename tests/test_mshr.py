@@ -1,0 +1,182 @@
+"""Tests for the MSHR file and its event-driven Algorithm 1 sweep.
+
+The centerpiece is a hypothesis property test proving the event-driven
+integral equals the paper's per-cycle loop exactly on arbitrary miss
+schedules.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mlp.cost import reference_mlp_costs
+from repro.mlp.mshr import MSHRFile
+
+
+def run_schedule(mshr, schedule):
+    """Allocate a (issue, complete, demand) schedule; return costs."""
+    costs = {}
+    for index, (issue, complete, demand) in enumerate(schedule):
+        sink = None
+        if demand:
+            sink = lambda cost, index=index: costs.__setitem__(index, cost)
+        mshr.allocate(1000 + index, issue, complete, demand, on_cost=sink)
+    mshr.drain()
+    return [costs.get(i, 0.0) for i in range(len(schedule))]
+
+
+@st.composite
+def miss_schedules(draw):
+    """Time-ordered schedules of up to 12 misses with integer times."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    issues = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=200),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    schedule = []
+    for issue in issues:
+        duration = draw(st.integers(min_value=1, max_value=300))
+        demand = draw(st.booleans())
+        schedule.append((issue, issue + duration, demand))
+    return schedule
+
+
+class TestAlgorithm1Equivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(miss_schedules())
+    def test_event_driven_matches_per_cycle_reference(self, schedule):
+        mshr = MSHRFile(n_entries=64)
+        fast = run_schedule(mshr, schedule)
+        slow = reference_mlp_costs(schedule)
+        for fast_cost, slow_cost in zip(fast, slow):
+            assert fast_cost == pytest.approx(slow_cost, abs=1e-9)
+
+    def test_isolated_miss_costs_full_latency(self):
+        mshr = MSHRFile()
+        costs = run_schedule(mshr, [(0, 444, True)])
+        assert costs == [444.0]
+
+    def test_parallel_pair_splits_evenly(self):
+        mshr = MSHRFile()
+        costs = run_schedule(mshr, [(0, 444, True), (0, 444, True)])
+        assert costs == [222.0, 222.0]
+
+    def test_wrong_path_excluded_from_n(self):
+        mshr = MSHRFile()
+        costs = run_schedule(
+            mshr, [(0, 444, True), (0, 444, False)]
+        )
+        # The demand miss pays the full latency: the wrong-path miss is
+        # not a demand miss (Section 3.1).
+        assert costs[0] == 444.0
+
+
+class TestAdderSharing:
+    def test_four_adders_truncate_to_quarter_cycle(self):
+        exact = MSHRFile(n_cost_adders=0)
+        shared = MSHRFile(n_cost_adders=4)
+        schedule = [(0, 443, True), (100, 301, True), (150, 444, True)]
+        exact_costs = run_schedule(exact, schedule)
+        shared_costs = run_schedule(shared, schedule)
+        for exact_cost, shared_cost in zip(exact_costs, shared_costs):
+            assert 0 <= exact_cost - shared_cost < 0.25 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(miss_schedules())
+    def test_shared_adder_error_bounded(self, schedule):
+        shared = MSHRFile(n_cost_adders=4)
+        fast = run_schedule(shared, schedule)
+        slow = reference_mlp_costs(schedule)
+        for fast_cost, slow_cost in zip(fast, slow):
+            assert fast_cost <= slow_cost + 1e-9
+            assert fast_cost > slow_cost - 0.25 - 1e-9
+
+
+class TestCapacity:
+    def test_admission_immediate_when_free(self):
+        mshr = MSHRFile(n_entries=2)
+        assert mshr.admission_time(5.0) == 5.0
+
+    def test_admission_waits_when_full(self):
+        mshr = MSHRFile(n_entries=2)
+        mshr.allocate(1, 0.0, 100.0)
+        mshr.allocate(2, 0.0, 200.0)
+        assert mshr.admission_time(50.0) == 100.0
+        assert mshr.full_stalls == 1
+
+    def test_occupancy_tracks_completions(self):
+        mshr = MSHRFile(n_entries=4)
+        mshr.allocate(1, 0.0, 100.0)
+        mshr.allocate(2, 0.0, 300.0)
+        assert mshr.occupancy_at(50.0) == 2
+        assert mshr.occupancy_at(150.0) == 1
+        assert mshr.occupancy_at(350.0) == 0
+
+    def test_peak_occupancy(self):
+        mshr = MSHRFile(n_entries=8)
+        for i in range(5):
+            mshr.allocate(i, 0.0, 100.0)
+        assert mshr.peak_occupancy == 5
+
+
+class TestMerging:
+    def test_lookup_finds_in_flight_block(self):
+        mshr = MSHRFile()
+        mshr.allocate(7, 0.0, 444.0)
+        assert mshr.lookup(7, 100.0) == 444.0
+        assert mshr.merges == 1
+
+    def test_lookup_misses_completed_block(self):
+        mshr = MSHRFile()
+        mshr.allocate(7, 0.0, 444.0)
+        assert mshr.lookup(7, 500.0) is None
+
+    def test_lookup_unknown_block(self):
+        assert MSHRFile().lookup(99, 0.0) is None
+
+
+class TestOrderingAndValidation:
+    def test_time_ordered_allocations_required(self):
+        mshr = MSHRFile()
+        mshr.allocate(1, 100.0, 200.0)
+        with pytest.raises(ValueError):
+            mshr.allocate(2, 50.0, 300.0)
+
+    def test_completion_before_issue_rejected(self):
+        mshr = MSHRFile()
+        with pytest.raises(ValueError):
+            mshr.allocate(1, 100.0, 50.0)
+
+    def test_advance_to_finalizes_costs(self):
+        mshr = MSHRFile()
+        seen = []
+        mshr.allocate(1, 0.0, 100.0, on_cost=seen.append)
+        assert seen == []
+        mshr.advance_to(150.0)
+        assert seen == [100.0]
+
+    def test_advance_to_is_idempotent(self):
+        mshr = MSHRFile()
+        seen = []
+        mshr.allocate(1, 0.0, 100.0, on_cost=seen.append)
+        mshr.advance_to(150.0)
+        mshr.advance_to(150.0)
+        mshr.advance_to(120.0)  # going backwards is a no-op
+        assert seen == [100.0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(n_entries=0)
+        with pytest.raises(ValueError):
+            MSHRFile(n_cost_adders=-1)
+
+    def test_outstanding_demand_counter(self):
+        mshr = MSHRFile()
+        mshr.allocate(1, 0.0, 100.0)
+        mshr.allocate(2, 0.0, 200.0, is_demand=False)
+        assert mshr.outstanding_demand == 1
+        mshr.drain()
+        assert mshr.outstanding_demand == 0

@@ -1,0 +1,337 @@
+"""Tests for PSEL, leader sets, the sampling model, overhead, and the
+SBAR/CBS controllers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import BlockState
+from repro.cache.cache import AccessResult
+from repro.config import baseline_config
+from repro.sbar.cbs import CBSController
+from repro.sbar.leader_sets import (
+    constituency_of,
+    is_simple_static_leader,
+    rand_dynamic_leaders,
+    simple_static_leaders,
+)
+from repro.sbar.overhead import cbs_overhead, sbar_overhead
+from repro.sbar.psel import PolicySelector
+from repro.sbar.sampling_model import (
+    figure8_series,
+    leaders_needed,
+    probability_best_policy,
+)
+from repro.sbar.sbar import SBARController
+
+
+class TestPolicySelector:
+    def test_starts_at_midpoint_msb_set(self):
+        psel = PolicySelector(6)
+        assert psel.value == 32
+        assert psel.msb
+
+    def test_saturates_high(self):
+        psel = PolicySelector(6)
+        psel.increment(1000)
+        assert psel.value == 63
+        psel.increment(1)
+        assert psel.value == 63
+
+    def test_saturates_low(self):
+        psel = PolicySelector(6)
+        psel.decrement(1000)
+        assert psel.value == 0
+        assert not psel.msb
+
+    def test_msb_threshold(self):
+        psel = PolicySelector(6)
+        psel.decrement(1)  # 31
+        assert not psel.msb
+        psel.increment(1)  # 32
+        assert psel.msb
+
+    def test_seven_bit_counter(self):
+        psel = PolicySelector(7)
+        assert psel.max_value == 127
+        assert psel.value == 64
+
+    def test_rejects_negative_updates(self):
+        psel = PolicySelector()
+        with pytest.raises(ValueError):
+            psel.increment(-1)
+        with pytest.raises(ValueError):
+            psel.decrement(-3)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 7)), max_size=100))
+    def test_always_in_range(self, updates):
+        psel = PolicySelector(6)
+        for up, amount in updates:
+            if up:
+                psel.increment(amount)
+            else:
+                psel.decrement(amount)
+        assert 0 <= psel.value <= 63
+
+
+class TestLeaderSets:
+    def test_paper_example_sets(self):
+        leaders = sorted(simple_static_leaders(1024, 32))
+        assert leaders[:4] == [0, 33, 66, 99]
+        assert leaders[-1] == 1023
+
+    def test_one_leader_per_constituency(self):
+        leaders = simple_static_leaders(256, 16)
+        constituencies = {constituency_of(s, 256, 16) for s in leaders}
+        assert constituencies == set(range(16))
+
+    def test_comparator_identification(self):
+        for set_index in range(1024):
+            expected = set_index in simple_static_leaders(1024, 32)
+            assert is_simple_static_leader(set_index, 1024, 32) == expected
+
+    def test_rand_dynamic_one_per_constituency(self):
+        rng = random.Random(4)
+        leaders = rand_dynamic_leaders(256, 8, rng)
+        assert len(leaders) == 8
+        constituencies = sorted(constituency_of(s, 256, 8) for s in leaders)
+        assert constituencies == list(range(8))
+
+    def test_rand_dynamic_varies_with_rng(self):
+        draws = {
+            rand_dynamic_leaders(1024, 32, random.Random(seed))
+            for seed in range(5)
+        }
+        assert len(draws) > 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            simple_static_leaders(100, 32)  # does not divide
+        with pytest.raises(ValueError):
+            simple_static_leaders(16, 32)  # more leaders than sets
+        with pytest.raises(ValueError):
+            constituency_of(300, 256, 16)
+
+
+class TestSamplingModel:
+    def test_equation3_k1(self):
+        assert probability_best_policy(1, 0.7) == pytest.approx(0.7)
+
+    def test_equation3_k3(self):
+        p = 0.7
+        expected = p ** 3 + 3 * p ** 2 * (1 - p)
+        assert probability_best_policy(3, p) == pytest.approx(expected)
+
+    def test_even_k_tie_break(self):
+        # k=2: wins need both leaders right, ties split 50/50.
+        p = 0.7
+        expected = p ** 2 + 0.5 * 2 * p * (1 - p)
+        assert probability_best_policy(2, p) == pytest.approx(expected)
+
+    def test_p_half_stays_half(self):
+        for k in (1, 2, 7, 32):
+            assert probability_best_policy(k, 0.5) == pytest.approx(0.5)
+
+    def test_p_one_is_certain(self):
+        assert probability_best_policy(16, 1.0) == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=0.5, max_value=1.0),
+    )
+    def test_probability_bounds(self, k, p):
+        value = probability_best_policy(k, p)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value >= 0.5 - 1e-12  # never worse than a coin flip
+
+    @given(st.floats(min_value=0.55, max_value=0.99))
+    def test_more_leaders_help(self, p):
+        # Odd-k subsequence is monotone non-decreasing in k.
+        values = [probability_best_policy(k, p) for k in (1, 3, 9, 31)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_paper_conclusion_16_to_32_leaders(self):
+        # At the paper's measured minimum p=0.74, 16-32 leaders give
+        # >95 % probability of selecting the best policy.
+        assert probability_best_policy(16, 0.74) > 0.95
+        assert leaders_needed(0.74, 0.95) <= 16
+
+    def test_leaders_needed_raises_at_half(self):
+        with pytest.raises(ValueError):
+            leaders_needed(0.5)
+
+    def test_figure8_series_shape(self):
+        series = figure8_series(leader_counts=(1, 3), p_values=(0.6, 0.9))
+        assert len(series) == 2
+        assert len(series[0][1]) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            probability_best_policy(0, 0.7)
+        with pytest.raises(ValueError):
+            probability_best_policy(3, 1.5)
+
+
+class TestOverhead:
+    def test_sbar_matches_paper_budget(self):
+        geometry = baseline_config().l2
+        report = sbar_overhead(geometry)
+        assert report.total_bytes == pytest.approx(1854, rel=0.01)
+        assert report.fraction_of_cache(geometry) < 0.002  # < 0.2 %
+
+    def test_sbar_entry_count(self):
+        report = sbar_overhead(baseline_config().l2, n_leaders=32)
+        assert report.atd_entries == 32 * 16
+
+    def test_cbs_is_64x_sbar(self):
+        geometry = baseline_config().l2
+        sbar = sbar_overhead(geometry)
+        cbs = cbs_overhead(geometry, per_set_psel=False)
+        ratio = cbs.atd_entries / sbar.atd_entries
+        assert ratio == 64
+
+    def test_cbs_local_has_per_set_psels(self):
+        geometry = baseline_config().l2
+        report = cbs_overhead(geometry, per_set_psel=True)
+        assert report.psel_counters == geometry.n_sets
+
+
+def mtd_result(hit: bool, cost_q: int = 0, set_index: int = 0) -> AccessResult:
+    state = BlockState(0)
+    state.cost_q = cost_q
+    return AccessResult(hit, state, set_index)
+
+
+class TestSBARController:
+    def make(self, **kwargs):
+        defaults = dict(n_sets=64, associativity=4, n_leaders=8)
+        defaults.update(kwargs)
+        return SBARController(**defaults)
+
+    def test_leader_sets_always_run_lin(self):
+        controller = self.make()
+        leader = next(iter(controller.leaders))
+        controller.psel.decrement(64)  # force LRU preference
+        assert controller.policy_for_set(leader) is controller.lin
+
+    def test_followers_obey_psel(self):
+        controller = self.make()
+        follower = next(
+            s for s in range(64) if s not in controller.leaders
+        )
+        assert controller.policy_for_set(follower) is controller.lin
+        controller.psel.decrement(64)
+        assert controller.policy_for_set(follower) is controller.lru
+
+    def test_non_leader_access_ignored(self):
+        controller = self.make()
+        follower = next(
+            s for s in range(64) if s not in controller.leaders
+        )
+        assert controller.observe_access(follower, 5, mtd_result(True)) is None
+        assert controller.atd_lru.accesses == 0
+
+    def test_lin_win_increments_by_cost(self):
+        controller = self.make()
+        leader = next(iter(controller.leaders))
+        # Warm the ATD so it will miss a block the MTD hits.
+        controller.atd_lru.access(leader, 111)
+        before = controller.psel.value
+        pending = controller.observe_access(
+            leader, 222, mtd_result(True, cost_q=5)
+        )
+        assert pending is None
+        assert controller.psel.value == before + 5
+
+    def test_lru_win_defers_by_actual_cost(self):
+        controller = self.make()
+        leader = next(iter(controller.leaders))
+        controller.atd_lru.access(leader, 333)  # now resident in ATD
+        before = controller.psel.value
+        pending = controller.observe_access(leader, 333, mtd_result(False))
+        assert pending is not None
+        assert controller.psel.value == before  # nothing yet
+        pending(7)
+        assert controller.psel.value == before - 7
+
+    def test_same_outcome_leaves_psel(self):
+        controller = self.make()
+        leader = next(iter(controller.leaders))
+        before = controller.psel.value
+        # Both miss (cold ATD, MTD miss): no update and deferred None.
+        assert controller.observe_access(leader, 9, mtd_result(False)) is None
+        assert controller.psel.value == before
+
+    def test_rand_dynamic_redraws_each_epoch(self):
+        controller = SBARController(
+            n_sets=64, associativity=4, n_leaders=8,
+            selection="rand-dynamic", epoch_instructions=1000, seed=3,
+        )
+        first = controller.leaders
+        drawn = set()
+        for epoch in range(1, 12):
+            controller.note_instructions(epoch * 1000)
+            drawn.add(controller.leaders)
+        assert any(leaders != first for leaders in drawn)
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(selection="bogus")
+
+
+class TestCBSController:
+    def make(self, scope="global"):
+        return CBSController(n_sets=16, associativity=4, scope=scope)
+
+    def test_default_psel_bits(self):
+        assert self.make("global").psel_for_set(0).n_bits == 7
+        assert self.make("local").psel_for_set(0).n_bits == 6
+
+    def test_local_has_independent_psels(self):
+        controller = self.make("local")
+        controller.psel_for_set(3).decrement(64)
+        assert controller.policy_for_set(3) is controller.lru
+        assert controller.policy_for_set(4) is controller.lin
+
+    def test_global_shares_one_psel(self):
+        controller = self.make("global")
+        controller.psel_for_set(0).decrement(128)
+        assert controller.policy_for_set(9) is controller.lru
+
+    def test_divergent_outcome_with_mtd_hit_updates_immediately(self):
+        controller = self.make("global")
+        # Warm ATD-LRU only (via direct access) so LIN misses, LRU hits.
+        controller.atd_lru.access(0, 16)
+        before = controller.psel_for_set(0).value
+        pending = controller.observe_access(0, 16, mtd_result(True, cost_q=4))
+        assert controller.psel_for_set(0).value == before - 4
+        assert pending is None
+
+    def test_divergent_outcome_with_mtd_miss_defers(self):
+        controller = self.make("global")
+        controller.atd_lru.access(0, 16)
+        before = controller.psel_for_set(0).value
+        pending = controller.observe_access(0, 16, mtd_result(False))
+        assert pending is not None
+        pending(6)
+        assert controller.psel_for_set(0).value == before - 6
+
+    def test_atd_lin_fill_gets_cost_from_mtd(self):
+        controller = self.make("global")
+        controller.observe_access(0, 16, mtd_result(True, cost_q=3))
+        state = controller.atd_lin.set_state(0).get(16)
+        assert state is not None
+        assert state.cost_q == 3
+
+    def test_atd_lin_fill_gets_deferred_cost_on_mtd_miss(self):
+        controller = self.make("global")
+        pending = controller.observe_access(0, 16, mtd_result(False))
+        assert pending is not None
+        pending(5)
+        state = controller.atd_lin.set_state(0).get(16)
+        assert state.cost_q == 5
+
+    def test_invalid_scope(self):
+        with pytest.raises(ValueError):
+            CBSController(16, 4, scope="nope")

@@ -1,0 +1,314 @@
+"""Integration tests: the full simulator on crafted traces.
+
+These exercise the end-to-end MLP semantics: isolated misses cost the
+full 444 cycles, overlapped misses split the cost, LIN protects
+isolated blocks, SBAR adapts, stores bypass the window, wrong-path
+traffic is excluded from demand accounting.
+"""
+
+import pytest
+
+from repro.cache.replacement import LINPolicy
+from repro.mlp.cost import MAX_COST_Q
+from repro.sim.simulator import Simulator, build_l2_policy
+from repro.sbar.cbs import CBSController
+from repro.sbar.sbar import SBARController
+from repro.trace.record import IFETCH, LOAD, STORE, Access
+from repro.trace.synthetic import TraceBuilder
+
+
+def isolated_trace(blocks, repeats=1):
+    builder = TraceBuilder()
+    for _ in range(repeats):
+        for block in blocks:
+            builder.isolated(block)
+            builder.quiet(200)
+    return builder.build()
+
+
+class TestCostSemantics:
+    def test_isolated_miss_costs_full_latency(self, small_machine):
+        sim = Simulator(small_machine, "lru")
+        result = sim.run(isolated_trace([10, 20, 30]))
+        assert result.demand_misses == 3
+        # Every miss is isolated: all land in the 420+ bucket.
+        assert result.cost_distribution.pct_isolated == 100.0
+        assert result.cost_distribution.average == pytest.approx(444, abs=1)
+
+    def test_burst_misses_split_cost(self, small_machine):
+        builder = TraceBuilder()
+        builder.burst([1, 2, 3, 4], lead_gap=200)
+        sim = Simulator(small_machine, "lru")
+        result = sim.run(builder.build())
+        assert result.demand_misses == 4
+        # Four overlapped misses cost ~444/4 each (plus bus slack).
+        assert result.cost_distribution.average < 160
+        assert result.cost_distribution.pct_isolated == 0.0
+
+    def test_parallel_beats_serial_ipc(self, small_machine):
+        serial = Simulator(small_machine, "lru").run(
+            isolated_trace(range(8))
+        )
+        builder = TraceBuilder()
+        builder.burst(list(range(8)), lead_gap=200)
+        builder.quiet(200 * 8)
+        builder.access(99, gap=200)
+        parallel = Simulator(small_machine, "lru").run(builder.build())
+        # Same number of misses, far fewer stall cycles.
+        assert parallel.stall_cycles < serial.stall_cycles / 2
+
+    def test_cost_written_into_tag_store(self, small_machine):
+        sim = Simulator(small_machine, "lru")
+        builder = TraceBuilder()
+        builder.isolated(5)
+        builder.access(99, gap=600)  # later access advances the sweep
+        sim.run(builder.build())
+        state = sim.l2.set_state(sim.l2.set_index(5)).get(5)
+        assert state is not None
+        assert state.cost_q == MAX_COST_Q
+
+    def test_mshr_merge_single_miss(self, small_machine):
+        # Two accesses to one block within the miss window: one miss.
+        builder = TraceBuilder()
+        builder.access(7, gap=200)
+        builder.access(1234, gap=1)  # different block, keeps L1 busy
+        builder.access(7, gap=1)
+        result = Simulator(small_machine, "lru").run(builder.build())
+        blocks_missed = result.demand_misses
+        assert blocks_missed == 2  # 7 and 1234, not 3
+
+
+class TestHierarchy:
+    def test_l1_filters_repeats(self, small_machine):
+        builder = TraceBuilder()
+        builder.access(3, gap=200)
+        builder.access(3, gap=1)
+        builder.access(3, gap=1)
+        sim = Simulator(small_machine, "lru")
+        sim.run(builder.build())
+        assert sim.l2.accesses == 1  # one-block L1 passes distinct only
+
+    def test_ifetch_goes_to_l1i(self, small_machine):
+        builder = TraceBuilder()
+        builder.access(3, kind=IFETCH, gap=200)
+        sim = Simulator(small_machine, "lru")
+        sim.run(builder.build())
+        assert sim.l1i.accesses == 1
+        assert sim.l1d.accesses == 0
+
+    def test_l2_eviction_invalidates_l1(self, small_machine):
+        # Fill one L2 set past associativity; the victim must leave L1.
+        n_sets = small_machine.l2.n_sets
+        builder = TraceBuilder()
+        for i in range(small_machine.l2.associativity + 1):
+            builder.access(i * n_sets, gap=200)
+        sim = Simulator(small_machine, "lru")
+        sim.run(builder.build())
+        assert not sim.l1d.contains(0)
+
+    def test_dirty_l2_victim_writes_back(self, small_machine):
+        n_sets = small_machine.l2.n_sets
+        builder = TraceBuilder()
+        builder.access(0, kind=STORE, gap=200)
+        # The dirty block must be evicted from L1 first so the dirty
+        # bit propagates to L2 via the L1 writeback.
+        builder.access(n_sets, kind=LOAD, gap=200)
+        for i in range(2, small_machine.l2.associativity + 2):
+            builder.access(i * n_sets, gap=200)
+        sim = Simulator(small_machine, "lru")
+        result = sim.run(builder.build())
+        assert sim.memory.writebacks >= 1
+
+    def test_compulsory_classification(self, small_machine):
+        result = Simulator(small_machine, "lru").run(
+            isolated_trace([1, 2, 3], repeats=2)
+        )
+        assert result.compulsory_misses == 3
+
+
+class TestStoresAndWrongPath:
+    def test_store_misses_do_not_stall_window(self, small_machine):
+        loads = Simulator(small_machine, "lru").run(isolated_trace(range(6)))
+        builder = TraceBuilder()
+        for block in range(6):
+            builder.access(block, kind=STORE, gap=160)
+            builder.quiet(200)
+        stores = Simulator(small_machine, "lru").run(builder.build())
+        assert stores.demand_misses == loads.demand_misses
+        assert stores.long_stalls == 0
+        assert stores.ipc > loads.ipc * 2
+
+    def test_store_misses_count_as_demand(self, small_machine):
+        builder = TraceBuilder()
+        builder.access(1, kind=STORE, gap=200)
+        result = Simulator(small_machine, "lru").run(builder.build())
+        assert result.demand_misses == 1
+
+    def test_wrong_path_excluded_from_stats(self, small_machine):
+        trace = [
+            Access(64 * 100, LOAD, 200, wrong_path=True),
+            Access(64 * 1, LOAD, 200),
+        ]
+        result = Simulator(small_machine, "lru").run(trace)
+        assert result.demand_misses == 1
+        assert result.instructions == 201
+
+    def test_wrong_path_still_fills_cache(self, small_machine):
+        trace = [
+            Access(64 * 100, LOAD, 200, wrong_path=True),
+            Access(64 * 1, LOAD, 200),
+        ]
+        sim = Simulator(small_machine, "lru")
+        sim.run(trace)
+        assert sim.l2.contains(100)
+
+
+class TestPolicyEffects:
+    def lin_friendly_trace(self, machine, laps=30):
+        """Isolated S blocks thrashed by P streams: LIN should win."""
+        n_sets = machine.l2.n_sets
+        assoc = machine.l2.associativity
+        builder = TraceBuilder()
+        s_blocks = [s for s in range(n_sets)]  # one S block per set
+        p_cursor = [1000]
+
+        for _ in range(laps):
+            for s in s_blocks:
+                builder.isolated(s)
+                builder.quiet(200)
+            # Enough distinct P blocks to flush every set under LRU.
+            start = p_cursor[0]
+            for i in range(n_sets * assoc):
+                gap = 200 if i % 4 == 0 else 4
+                builder.access(start + i, gap=gap)
+            p_cursor[0] = start + n_sets * assoc
+        return builder.build()
+
+    def test_lin_beats_lru_on_isolated_reuse(self, small_machine):
+        trace = self.lin_friendly_trace(small_machine)
+        lru = Simulator(small_machine, "lru").run(trace)
+        lin = Simulator(small_machine, "lin(4)").run(
+            self.lin_friendly_trace(small_machine)
+        )
+        assert lin.long_stalls < lru.long_stalls
+        assert lin.ipc > lru.ipc
+
+    def test_sbar_matches_winner(self, small_machine):
+        trace = self.lin_friendly_trace(small_machine)
+        lin = Simulator(small_machine, "lin(4)").run(trace)
+        sbar = Simulator(small_machine, "sbar(simple-static,2)").run(
+            self.lin_friendly_trace(small_machine)
+        )
+        assert sbar.ipc >= lin.ipc * 0.9
+        assert sbar.psel_final is not None
+
+    def test_lin_lambda_zero_equals_lru(self, small_machine):
+        trace = self.lin_friendly_trace(small_machine, laps=10)
+        lru = Simulator(small_machine, "lru").run(trace)
+        lin0 = Simulator(small_machine, "lin(0)").run(
+            self.lin_friendly_trace(small_machine, laps=10)
+        )
+        assert lin0.demand_misses == lru.demand_misses
+        assert lin0.ipc == pytest.approx(lru.ipc)
+
+
+class TestPhaseSampling:
+    def test_phase_samples_cut_at_interval(self, small_machine):
+        sim = Simulator(small_machine, "lru", phase_interval=1000)
+        result = sim.run(isolated_trace(range(20)))
+        assert len(result.phases) >= 3
+        for phase in result.phases:
+            assert phase.instructions > 0
+            assert phase.end_cycle >= phase.start_cycle
+
+    def test_phase_totals_match_run(self, small_machine):
+        sim = Simulator(small_machine, "lru", phase_interval=1000)
+        result = sim.run(isolated_trace(range(20)))
+        assert sum(p.misses for p in result.phases) == result.demand_misses
+        assert result.phases[-1].end_instruction == result.instructions
+
+
+class TestBuildPolicy:
+    def test_strings(self, small_machine):
+        fixed, controller = build_l2_policy("lin(3)", small_machine)
+        assert isinstance(fixed, LINPolicy) and fixed.lam == 3
+        fixed, controller = build_l2_policy("sbar", small_machine)
+        assert isinstance(controller, SBARController)
+        fixed, controller = build_l2_policy("cbs-local", small_machine)
+        assert isinstance(controller, CBSController)
+        assert controller.scope == "local"
+
+    def test_instances_pass_through(self, small_machine):
+        policy = LINPolicy(2)
+        fixed, controller = build_l2_policy(policy, small_machine)
+        assert fixed is policy
+
+    def test_unknown_rejected(self, small_machine):
+        with pytest.raises(ValueError):
+            build_l2_policy("opt-magic", small_machine)
+
+    def test_simulator_runs_once(self, small_machine):
+        sim = Simulator(small_machine, "lru")
+        sim.run([])
+        with pytest.raises(RuntimeError):
+            sim.run([])
+
+
+class TestResultMetrics:
+    def test_ipc_and_mpki(self, small_machine):
+        result = Simulator(small_machine, "lru").run(isolated_trace([1, 2]))
+        assert result.ipc > 0
+        assert result.mpki == pytest.approx(
+            1000 * result.demand_misses / result.instructions
+        )
+
+    def test_summary_line_mentions_policy(self, small_machine):
+        result = Simulator(small_machine, "lin(4)").run(isolated_trace([1]))
+        assert "lin(4)" in result.summary_line()
+
+    def test_empty_trace(self, small_machine):
+        result = Simulator(small_machine, "lru").run([])
+        assert result.instructions == 0
+        assert result.demand_misses == 0
+        assert result.ipc == 0.0
+
+
+class TestWarmup:
+    def test_warmup_excludes_early_stats(self, small_machine):
+        trace = isolated_trace(range(20))
+        cold = Simulator(small_machine, "lru").run(isolated_trace(range(20)))
+        warm = Simulator(
+            small_machine, "lru", warmup_instructions=2000
+        ).run(trace)
+        assert warm.demand_misses < cold.demand_misses
+        assert warm.instructions < cold.instructions
+        assert warm.cost_distribution.total <= warm.demand_misses
+
+    def test_warmup_zero_is_identity(self, small_machine):
+        a = Simulator(small_machine, "lru").run(isolated_trace(range(5)))
+        b = Simulator(
+            small_machine, "lru", warmup_instructions=0
+        ).run(isolated_trace(range(5)))
+        assert a.demand_misses == b.demand_misses
+        assert a.ipc == b.ipc
+
+    def test_warmup_still_trains_cache(self, small_machine):
+        # Blocks touched during warm-up must be resident afterwards.
+        builder = TraceBuilder()
+        builder.isolated(7)
+        builder.quiet(5000)
+        builder.isolated(7)  # post-warmup revisit: a hit, not a miss
+        sim = Simulator(small_machine, "lru", warmup_instructions=1000)
+        result = sim.run(builder.build())
+        assert result.demand_misses == 0
+
+    def test_warmup_validation(self, small_machine):
+        with pytest.raises(ValueError):
+            Simulator(small_machine, "lru", warmup_instructions=-1)
+
+    def test_warmup_longer_than_trace(self, small_machine):
+        result = Simulator(
+            small_machine, "lru", warmup_instructions=10**9
+        ).run(isolated_trace(range(4)))
+        assert result.demand_misses == 0
+        assert result.instructions <= 0 or result.ipc >= 0

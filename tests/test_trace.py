@@ -1,0 +1,176 @@
+"""Tests for trace records, synthetic primitives, and the Figure 1 loop."""
+
+import random
+
+import pytest
+
+from repro.trace.figure1 import (
+    FIGURE1_BLOCKS,
+    FIGURE1_PATTERN,
+    block_names,
+    figure1_trace,
+)
+from repro.trace.record import (
+    IFETCH,
+    LOAD,
+    STORE,
+    Access,
+    kind_name,
+    memory_footprint_blocks,
+    total_instructions,
+)
+from repro.trace.synthetic import (
+    BURST_GAP,
+    ISOLATING_GAP,
+    TraceBuilder,
+    interleave,
+    pointer_chase,
+    random_working_set,
+    repeat_trace,
+    strided_stream,
+)
+
+
+class TestAccess:
+    def test_fields(self):
+        access = Access(0x1000, STORE, gap=7)
+        assert access.address == 0x1000
+        assert access.kind == STORE
+        assert access.gap == 7
+        assert not access.wrong_path
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            Access(0, LOAD, gap=-1)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            Access(0, kind=99)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            Access(-64)
+
+    def test_equality(self):
+        assert Access(64, LOAD, 3) == Access(64, LOAD, 3)
+        assert Access(64, LOAD, 3) != Access(64, STORE, 3)
+
+    def test_kind_names(self):
+        assert kind_name(LOAD) == "load"
+        assert kind_name(STORE) == "store"
+        assert kind_name(IFETCH) == "ifetch"
+
+    def test_repr_mentions_wrong_path(self):
+        assert "wrong-path" in repr(Access(0, LOAD, 0, wrong_path=True))
+
+
+class TestTraceHelpers:
+    def test_total_instructions_counts_gaps_and_accesses(self):
+        trace = [Access(0, LOAD, 10), Access(64, LOAD, 5)]
+        assert total_instructions(trace) == 17
+
+    def test_total_instructions_skips_wrong_path(self):
+        trace = [Access(0, LOAD, 10), Access(64, LOAD, 5, wrong_path=True)]
+        assert total_instructions(trace) == 11
+
+    def test_memory_footprint(self):
+        trace = [Access(0), Access(32), Access(64), Access(128)]
+        assert memory_footprint_blocks(trace) == 3  # 0,32 share a block
+
+
+class TestTraceBuilder:
+    def test_access_scales_block_to_address(self):
+        trace = TraceBuilder().access(5).build()
+        assert trace[0].address == 5 * 64
+
+    def test_burst_gaps(self):
+        trace = TraceBuilder().burst([1, 2, 3], lead_gap=100).build()
+        assert [a.gap for a in trace] == [100, BURST_GAP, BURST_GAP]
+
+    def test_isolated_uses_isolating_gap(self):
+        trace = TraceBuilder().isolated(9).build()
+        assert trace[0].gap == ISOLATING_GAP
+        assert ISOLATING_GAP > 128  # larger than the window
+
+    def test_quiet_folds_into_next_access(self):
+        trace = TraceBuilder().quiet(500).access(1, gap=4).build()
+        assert trace[0].gap == 504
+
+    def test_quiet_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().quiet(-1)
+
+    def test_build_resets(self):
+        builder = TraceBuilder()
+        builder.access(1)
+        assert len(builder.build()) == 1
+        assert builder.build() == []
+
+
+class TestGenerators:
+    def test_strided_stream_addresses(self):
+        trace = strided_stream(10, 4, burst=2)
+        blocks = [a.address // 64 for a in trace]
+        assert blocks == [10, 11, 12, 13]
+
+    def test_strided_stream_burst_boundaries(self):
+        trace = strided_stream(0, 6, burst=3, lead_gap=200, intra_gap=1)
+        assert [a.gap for a in trace] == [200, 1, 1, 200, 1, 1]
+
+    def test_pointer_chase_is_isolated(self):
+        trace = pointer_chase([1, 2, 3])
+        assert all(a.gap == ISOLATING_GAP for a in trace)
+
+    def test_random_working_set_stays_in_pool(self):
+        rng = random.Random(1)
+        pool = [3, 5, 7]
+        trace = random_working_set(rng, pool, 50)
+        assert {a.address // 64 for a in trace} <= set(pool)
+
+    def test_random_working_set_store_fraction(self):
+        rng = random.Random(1)
+        trace = random_working_set(rng, [1], 500, store_fraction=0.5)
+        stores = sum(1 for a in trace if a.kind == STORE)
+        assert 150 < stores < 350
+
+    def test_interleave_preserves_order(self):
+        rng = random.Random(2)
+        left = [Access(i * 64) for i in range(10)]
+        right = [Access((100 + i) * 64) for i in range(10)]
+        merged = interleave(rng, left, right)
+        assert len(merged) == 20
+        left_order = [a for a in merged if a.address < 100 * 64]
+        assert left_order == left
+
+    def test_repeat_trace(self):
+        trace = [Access(0), Access(64)]
+        assert len(repeat_trace(trace, 3)) == 6
+        assert repeat_trace(trace, 0) == []
+
+
+class TestFigure1:
+    def test_pattern_matches_paper(self):
+        assert FIGURE1_PATTERN == (
+            "P1", "P2", "P3", "P4", "P4", "P3", "P2", "P1", "S1", "S2", "S3",
+        )
+
+    def test_trace_length(self):
+        assert len(figure1_trace(3)) == 33
+
+    def test_seven_distinct_blocks(self):
+        assert memory_footprint_blocks(figure1_trace(2)) == 7
+
+    def test_segment_boundaries_are_isolating(self):
+        trace = figure1_trace(1)
+        gaps = [a.gap for a in trace]
+        # A, B, C, D, E points carry the big gap.
+        big = [i for i, gap in enumerate(gaps) if gap == ISOLATING_GAP]
+        assert big == [0, 4, 8, 9, 10]
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            figure1_trace(0)
+
+    def test_block_names_roundtrip(self):
+        names = block_names()
+        assert names[FIGURE1_BLOCKS["S2"] * 64] == "S2"

@@ -1,0 +1,88 @@
+"""Tests for the surrogate-calibration validation module."""
+
+import pytest
+
+from repro.sim.runner import clear_cache
+from repro.workloads.validation import (
+    BenchmarkFidelity,
+    delta_separation,
+    paper_delta_ordering_holds,
+    validate_benchmark,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def fidelity(**overrides):
+    base = dict(
+        benchmark="x",
+        lin_ipc_measured=10.0,
+        lin_ipc_paper=15.0,
+        lin_miss_measured=-5.0,
+        lin_miss_paper=-9.0,
+        sbar_ipc_measured=10.0,
+        sbar_ipc_paper=15.0,
+        delta_avg_measured=50.0,
+    )
+    base.update(overrides)
+    return BenchmarkFidelity(**base)
+
+
+class TestSignLogic:
+    def test_matching_positive_signs(self):
+        assert fidelity().lin_sign_matches
+
+    def test_matching_negative_signs(self):
+        assert fidelity(
+            lin_ipc_measured=-12.0, lin_ipc_paper=-16.0
+        ).lin_sign_matches
+
+    def test_opposed_signs_fail(self):
+        assert not fidelity(
+            lin_ipc_measured=-12.0, lin_ipc_paper=16.0
+        ).lin_sign_matches
+
+    def test_neutral_band_tolerates_small_disagreement(self):
+        assert fidelity(
+            lin_ipc_measured=-0.4, lin_ipc_paper=0.2
+        ).lin_sign_matches
+
+    def test_magnitude_ratio(self):
+        assert fidelity().lin_magnitude_ratio == pytest.approx(10 / 15)
+        assert fidelity(lin_ipc_paper=0.2).lin_magnitude_ratio is None
+
+
+class TestSeparation:
+    def test_positive_when_losers_above_winners(self):
+        results = [
+            fidelity(lin_ipc_paper=20.0, delta_avg_measured=30.0),
+            fidelity(lin_ipc_paper=-20.0, delta_avg_measured=200.0),
+        ]
+        assert delta_separation(results) == pytest.approx(170.0)
+
+    def test_zero_without_both_groups(self):
+        assert delta_separation([fidelity()]) == 0.0
+
+    def test_paper_delta_ordering(self):
+        assert paper_delta_ordering_holds("mgrid", 220.0)
+        assert paper_delta_ordering_holds("sixtrack", 30.0)
+        assert not paper_delta_ordering_holds("mgrid", 20.0)
+
+
+class TestLiveValidation:
+    def test_validate_benchmark_runs(self):
+        result = validate_benchmark("mcf", scale=0.2)
+        assert result.benchmark == "mcf"
+        assert result.lin_ipc_measured > 0  # mcf is a LIN win
+        assert result.lin_sign_matches
+
+    def test_calibration_experiment(self):
+        from repro.experiments import calibration
+
+        text = calibration.run(scale=0.1, benchmarks=["mcf", "lucas"]).render()
+        assert "sign" in text and "mcf" in text

@@ -1,0 +1,108 @@
+"""Property test: the gap-compressed window model equals a
+per-instruction reference.
+
+:class:`~repro.cpu.window.WindowModel` folds runs of non-memory
+instructions into arithmetic on gaps.  The reference below simulates
+the same machine one instruction at a time with the defining
+recurrence:
+
+    dispatch[i] = max(dispatch[i-1] + 1/width, frontier[i - W])
+
+where ``frontier[k]`` is the running maximum completion time of the
+first ``k`` instructions (in-order retirement).  Both must produce
+identical memory-op dispatch times and total stall cycles.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.window import WindowModel
+
+
+def reference_window(ops, width=8, window=128):
+    """Per-instruction simulation; ops = [(gap, latency), ...].
+
+    Returns (dispatch time of each memory op, total stall cycles).
+    """
+    dispatches = []
+    stall_cycles = 0.0
+    d_prev = 0.0
+    completes = []  # completion time per instruction, program order
+    frontier = []   # running max of completes
+    index = 0
+
+    def dispatch_one(latency):
+        nonlocal d_prev, stall_cycles, index
+        earliest = d_prev + 1.0 / width
+        if index == 0:
+            earliest = 1.0 / width
+        bound = frontier[index - window] if index >= window else 0.0
+        if bound > earliest:
+            stall_cycles += bound - earliest
+            d = bound
+        else:
+            d = earliest
+        completes.append(d + latency)
+        frontier.append(
+            max(completes[-1], frontier[-1] if frontier else 0.0)
+        )
+        d_prev = d
+        index += 1
+        return d
+
+    for gap, latency in ops:
+        for _ in range(gap):
+            dispatch_one(0.0)
+        dispatches.append(dispatch_one(latency))
+    return dispatches, stall_cycles
+
+
+def fast_window(ops, width=8, window=128):
+    model = WindowModel(width=width, window_size=window)
+    dispatches = []
+    for gap, latency in ops:
+        t = model.advance(gap)
+        model.complete_memory_op(t + latency)
+        dispatches.append(t)
+    return dispatches, model.stall_cycles
+
+
+@st.composite
+def op_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n):
+        gap = draw(st.integers(min_value=0, max_value=60))
+        latency = draw(
+            st.sampled_from([0.0, 2.0, 17.0, 150.0, 444.0, 900.0])
+        )
+        ops.append((gap, latency))
+    return ops
+
+
+class TestWindowEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(op_streams(), st.sampled_from([16, 128]))
+    def test_dispatch_times_match_reference(self, ops, window):
+        fast, fast_stalls = fast_window(ops, window=window)
+        slow, slow_stalls = reference_window(ops, window=window)
+        for fast_time, slow_time in zip(fast, slow):
+            assert fast_time == pytest.approx(slow_time, abs=1e-6)
+        assert fast_stalls == pytest.approx(slow_stalls, abs=1e-6)
+
+    def test_known_isolated_case(self):
+        # A 444-cycle miss, then an access far enough that the window
+        # fills in between: both models must stall identically.
+        ops = [(0, 444.0), (300, 444.0), (300, 444.0)]
+        fast, fast_stalls = fast_window(ops)
+        slow, slow_stalls = reference_window(ops)
+        assert fast == pytest.approx(slow)
+        assert fast_stalls == pytest.approx(slow_stalls)
+        assert fast_stalls > 700  # two real stalls happened
+
+    def test_known_parallel_case(self):
+        # Four overlapping misses: only one window-fill stall.
+        ops = [(0, 444.0)] * 4 + [(400, 0.0)]
+        _, fast_stalls = fast_window(ops)
+        _, slow_stalls = reference_window(ops)
+        assert fast_stalls == pytest.approx(slow_stalls)

@@ -1,0 +1,15 @@
+"""Table 1 tuning aid."""
+import sys
+from repro.sim.runner import run_policy
+from repro.workloads import BENCHMARKS, PAPER_TABLE1
+
+names = sys.argv[1:] or BENCHMARKS
+print('%-9s %6s %6s %6s %6s | paper %4s %4s %4s %5s' % (
+    'bench', '<60', '60-119', '>=120', 'avg', '<60', '6-12', '>=120', 'avg'))
+for b in names:
+    r = run_policy(b, 'lru', scale=1.0)
+    d = r.delta_summary
+    p = PAPER_TABLE1[b]
+    print('%-9s %5.0f%% %5.0f%% %5.0f%% %6.0f | paper %3d%% %3d%% %4d%% %5s' % (
+        b, d.pct_below_60, d.pct_60_to_119, d.pct_120_plus, d.average,
+        p[0], p[1], p[2], p[3] if p[3] else '-'))
