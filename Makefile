@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-fast examples lint clean
+.PHONY: install test bench suite experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick 2-worker smoke matrix (also run by CI).
+suite:
+	$(PYTHON) -m repro.sim.suite --policies "lru,lin(4)" \
+		--benchmarks mcf,art --workers 2 --scale 0.25 --progress
 
 # Full-scale regeneration of every table and figure (~10 minutes).
 experiments:

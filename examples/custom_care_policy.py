@@ -4,7 +4,13 @@ Figure 3(a) of the paper frames replacement as a pluggable Cost Aware
 Replacement Engine: "CARE can consist of any generic cost-sensitive
 scheme".  This example implements a new policy — a *cost-biased random*
 scheme that evicts a uniformly random block among those below a cost_q
-threshold — and races it against LRU and LIN on the mcf surrogate.
+threshold — registers it in the policy registry, and races it against
+LRU and LIN on the mcf surrogate.
+
+Registration is the important part: once a class is registered, its
+spec string works everywhere a built-in does — ``Simulator(config,
+"cost-biased-random(7)")``, ``run_suite(policies=(...,))``, and the
+``--policies`` flag of ``python -m repro.sim.suite``.
 
 Run::
 
@@ -13,11 +19,13 @@ Run::
 
 import random
 
-from repro import Simulator, build_trace, experiment_config
+from repro import available_policies, register_policy
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.sets import CacheSet
+from repro.sim.suite import run_suite
 
 
+@register_policy("cost-biased-random")
 class CostBiasedRandomPolicy(ReplacementPolicy):
     """Evict a random block among the cheap ones.
 
@@ -42,32 +50,25 @@ class CostBiasedRandomPolicy(ReplacementPolicy):
 
 
 def main() -> None:
-    policies = [
-        "lru",
-        "lin(4)",
-        CostBiasedRandomPolicy(threshold=4),
-        CostBiasedRandomPolicy(threshold=7),
-    ]
-    baseline_ipc = None
-    print("policy                      IPC     misses   long-stalls")
-    for policy in policies:
-        simulator = Simulator(experiment_config(), policy)
-        result = simulator.run(build_trace("mcf", scale=0.5))
-        if baseline_ipc is None:
-            baseline_ipc = result.ipc
-        print(
-            "%-24s %7.4f  %8d  %10d   (%+.1f%% vs LRU)"
-            % (
-                result.policy_name,
-                result.ipc,
-                result.demand_misses,
-                result.long_stalls,
-                100 * (result.ipc - baseline_ipc) / baseline_ipc,
-            )
-        )
+    print("registered policies:", ", ".join(available_policies()))
+    suite = run_suite(
+        policies=(
+            "lru",
+            "lin(4)",
+            "cost-biased-random(4)",
+            "cost-biased-random(7)",
+        ),
+        benchmarks=("mcf",),
+        scale=0.5,
+    )
+    print()
+    print(suite.to_text())
     print(
         "\nAny ReplacementPolicy subclass that reads cost_q from the tag\n"
-        "entries is a valid CARE engine; LIN is just the paper's choice."
+        "entries is a valid CARE engine; LIN is just the paper's choice.\n"
+        "register_policy makes it a first-class spec string: usable in\n"
+        "run_suite matrices, both CLIs, and the persistent result store\n"
+        "(keyed on the policy's own source, so edits invalidate cleanly)."
     )
 
 

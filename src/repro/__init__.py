@@ -29,7 +29,13 @@ The package layers, bottom up:
 from repro.config import MachineConfig, baseline_config, scaled_config
 from repro.sim import Simulator, SimResult, build_l2_policy
 from repro.workloads import BENCHMARKS, build_trace, experiment_config
-from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.cache.replacement import (
+    LINPolicy,
+    LRUPolicy,
+    available_policies,
+    parse_policy_spec,
+    register_policy,
+)
 from repro.sbar import CBSController, SBARController
 
 __version__ = "1.0.0"
@@ -41,6 +47,9 @@ __all__ = [
     "baseline_config",
     "scaled_config",
     "build_l2_policy",
+    "register_policy",
+    "parse_policy_spec",
+    "available_policies",
     "build_trace",
     "experiment_config",
     "BENCHMARKS",

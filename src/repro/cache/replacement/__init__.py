@@ -16,6 +16,12 @@ from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.lru import LRUPolicy, FIFOPolicy, RandomPolicy
 from repro.cache.replacement.belady import BeladyPolicy
 from repro.cache.replacement.lin import LINPolicy, CostThresholdPolicy
+from repro.cache.replacement.registry import (
+    available_policies,
+    parse_policy_spec,
+    register_policy,
+    split_specs,
+)
 
 __all__ = [
     "ReplacementPolicy",
@@ -25,6 +31,10 @@ __all__ = [
     "BeladyPolicy",
     "LINPolicy",
     "CostThresholdPolicy",
+    "register_policy",
+    "parse_policy_spec",
+    "available_policies",
+    "split_specs",
 ]
 
 # The DIP/LIP/BIP family lives in repro.cache.replacement.dip; it is

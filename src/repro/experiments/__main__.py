@@ -5,15 +5,57 @@ Usage::
     python -m repro.experiments                 # everything, paper order
     python -m repro.experiments figure9 table1  # a subset
     python -m repro.experiments figure4 --scale 0.3 --benchmarks mcf,art
+    python -m repro.experiments --workers 8     # fan simulations out
+
+``--workers N`` first pushes every (benchmark x policy) cell the
+selected experiments need through the parallel engine (populating the
+persistent result store), then renders the reports serially from cache
+hits.  ``--no-cache`` disables both the in-process memo and the store
+for a guaranteed-fresh run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.cache.replacement.registry import split_specs
 from repro.experiments import EXPERIMENTS
+from repro.experiments.common import prewarm_tasks
+
+
+def _prewarm(names, benchmarks, scale, workers, show_progress) -> None:
+    """Fan the experiments' shared simulation grid out over a pool."""
+    from repro.sim.parallel import run_grid
+    from repro.sim.suite import _progress_printer
+
+    tasks = prewarm_tasks(names, benchmarks=benchmarks, scale=scale)
+    if not tasks:
+        return
+    grid = run_grid(
+        tasks,
+        workers=workers,
+        progress=_progress_printer if show_progress else None,
+    )
+    print(
+        "[prewarm: %d tasks on %d workers in %.1fs — %.0f%% utilization, "
+        "cache %d hit / %d miss, %d failed]"
+        % (
+            len(grid.reports),
+            grid.workers,
+            grid.elapsed,
+            100.0 * grid.utilization,
+            grid.cache_hits,
+            grid.cache_misses,
+            len(grid.failures),
+        ),
+        file=sys.stderr,
+    )
+    for task, message in grid.failures.items():
+        print("[prewarm FAILED %s: %s]" % (task.label, message),
+              file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -39,6 +81,24 @@ def main(argv=None) -> int:
         default=None,
         help="comma-separated benchmark subset (default: all 14)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="prewarm the shared simulation grid on N worker processes "
+             "before rendering reports",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the in-process memo and the persistent result store",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished prewarm task to stderr",
+    )
     args = parser.parse_args(argv)
 
     names = args.names or list(EXPERIMENTS)
@@ -46,8 +106,16 @@ def main(argv=None) -> int:
     if unknown:
         parser.error("unknown experiments: %s" % ", ".join(unknown))
     benchmarks = (
-        args.benchmarks.split(",") if args.benchmarks is not None else None
+        split_specs(args.benchmarks) if args.benchmarks is not None else None
     )
+
+    if args.no_cache:
+        from repro.sim.runner import clear_cache
+
+        os.environ["REPRO_NO_STORE"] = "1"
+        clear_cache()
+    elif args.workers:
+        _prewarm(names, benchmarks, args.scale, args.workers, args.progress)
 
     for name in names:
         started = time.time()

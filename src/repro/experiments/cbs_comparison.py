@@ -21,6 +21,8 @@ DEFAULT_BENCHMARKS = ("art", "mcf", "ammp", "parser", "mgrid")
 
 POLICIES = ("sbar", "cbs-global", "cbs-local")
 
+PREWARM_POLICIES = ("lru",) + POLICIES
+
 
 def run(
     scale: Optional[float] = None,

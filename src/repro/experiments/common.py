@@ -91,3 +91,46 @@ def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
     if unknown:
         raise KeyError("unknown benchmarks: %s" % ", ".join(unknown))
     return list(benchmarks)
+
+
+def prewarm_tasks(
+    names: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+):
+    """Tasks covering the default-config runs the experiments will make.
+
+    An experiment module opts in by declaring ``PREWARM_POLICIES`` — the
+    spec strings its ``run()`` feeds to ``run_policy`` with the default
+    machine config.  The experiments CLI fans these out across a worker
+    pool before rendering, so the serial report pass is all cache hits.
+    Experiments that sweep custom configs (sensitivity) or phase
+    intervals (figure11) simply don't declare the attribute.
+    """
+    from repro.experiments import EXPERIMENTS
+    from repro.sim.parallel import Task
+    from repro.sim.runner import trace_scale
+    from repro.workloads import BENCHMARKS
+
+    resolved_scale = scale if scale is not None else trace_scale()
+    tasks = []
+    for name in names:
+        module = EXPERIMENTS[name]
+        specs = getattr(module, "PREWARM_POLICIES", ())
+        if not specs:
+            continue
+        targets = (
+            list(benchmarks)
+            if benchmarks is not None
+            else list(getattr(module, "DEFAULT_BENCHMARKS", BENCHMARKS))
+        )
+        for benchmark in targets:
+            for spec in specs:
+                tasks.append(
+                    Task(
+                        benchmark=benchmark,
+                        policy_spec=spec,
+                        scale=resolved_scale,
+                    )
+                )
+    return tasks

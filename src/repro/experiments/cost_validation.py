@@ -17,6 +17,8 @@ from repro.experiments.common import Report, resolve_benchmarks
 from repro.sim.runner import run_policy
 from repro.workloads import experiment_config
 
+PREWARM_POLICIES = ("lru",)
+
 
 def run(
     scale: Optional[float] = None,

@@ -18,6 +18,8 @@ from repro.sim.runner import ipc_improvement, run_policy
 
 POLICIES = ("lip", "bip", "dip", "lin(4)", "sbar", "tournament")
 
+PREWARM_POLICIES = ("lru",) + POLICIES
+
 DEFAULT_BENCHMARKS = ("art", "apsi", "mcf", "vpr", "sixtrack", "parser")
 
 

@@ -22,6 +22,10 @@ CONFIGS = (
     ("rand-dynamic", 32),
 )
 
+PREWARM_POLICIES = ("lru",) + tuple(
+    "sbar(%s,%d)" % (selection, count) for selection, count in CONFIGS
+)
+
 
 def run(
     scale: Optional[float] = None,

@@ -16,6 +16,8 @@ from repro.mlp.cost import QUANTIZATION_STEP
 from repro.sim.runner import run_policy
 from repro.sim.stats import N_COST_BINS
 
+PREWARM_POLICIES = ("lru",)
+
 
 def bucket_labels():
     labels = []

@@ -14,6 +14,9 @@ from repro.workloads import PAPER_FIG5
 
 LAMBDAS = (1, 2, 3, 4)
 
+#: Default-config runs, fanned out by ``--workers`` (see common.py).
+PREWARM_POLICIES = ("lru",) + tuple("lin(%d)" % lam for lam in LAMBDAS)
+
 
 def run(
     scale: Optional[float] = None,

@@ -15,6 +15,8 @@ from repro.experiments.figure2 import bucket_labels
 from repro.sim.runner import ipc_improvement, miss_change, run_policy
 from repro.workloads import PAPER_FIG5
 
+PREWARM_POLICIES = ("lru", "lin(4)")
+
 
 def run(
     scale: Optional[float] = None,

@@ -13,6 +13,8 @@ from repro.experiments.common import Report, fmt_pct, resolve_benchmarks
 from repro.sim.runner import ipc_improvement, run_policy
 from repro.workloads import PAPER_FIG5, PAPER_FIG9_SBAR
 
+PREWARM_POLICIES = ("lru", "lin(4)", "sbar")
+
 
 def run(
     scale: Optional[float] = None,

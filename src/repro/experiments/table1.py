@@ -14,6 +14,8 @@ from repro.experiments.common import Report, resolve_benchmarks
 from repro.sim.runner import run_policy
 from repro.workloads import PAPER_TABLE1
 
+PREWARM_POLICIES = ("lru",)
+
 
 def run(
     scale: Optional[float] = None,

@@ -16,6 +16,8 @@ from repro.experiments.common import Report, resolve_benchmarks
 from repro.sim.runner import run_policy
 from repro.workloads import PAPER_TABLE3
 
+PREWARM_POLICIES = ("lru",)
+
 
 def run(
     scale: Optional[float] = None,

@@ -11,6 +11,7 @@ samples (Figure 11).
 from repro.sim.simulator import Simulator, build_l2_policy
 from repro.sim.stats import SimResult
 from repro.sim.runner import run_policy, ipc_improvement
+from repro.sim.store import ResultStore, default_store
 
 __all__ = [
     "Simulator",
@@ -18,4 +19,10 @@ __all__ = [
     "build_l2_policy",
     "run_policy",
     "ipc_improvement",
+    "ResultStore",
+    "default_store",
 ]
+
+# repro.sim.parallel (Task/run_grid) and repro.sim.suite (run_suite)
+# are imported explicitly by users; keeping them out of this facade
+# avoids paying multiprocessing imports on every ``import repro``.

@@ -1,0 +1,360 @@
+"""Multiprocessing fan-out over the (benchmark x policy) task grid.
+
+Regenerating the paper is embarrassingly parallel — every cell of every
+figure's matrix is an independent simulation — so this module schedules
+:class:`Task` grids across a worker pool:
+
+* **Caching** — the parent resolves in-process memo and persistent
+  store hits before spawning anything; only genuine misses reach the
+  pool, and workers write their results back to the store so a repeat
+  run (even in a different process) is free.
+* **Robustness** — per-task wall-clock timeouts (SIGALRM inside the
+  worker), bounded retry, and per-task failure capture: one diverging
+  or crashing simulation yields a failure entry in the report instead
+  of killing the whole matrix.  A broken pool is rebuilt and the
+  in-flight tasks retried.
+* **Observability** — every task gets a :class:`TaskReport` (wall
+  time, worker pid, cache hit, attempts); :class:`GridReport.meta`
+  aggregates utilization and cache counters for
+  ``SuiteResult.to_json()``.
+
+Determinism: simulations are seeded functions of (benchmark, policy,
+scale, config), so the pool returns bit-identical results to the
+serial path — ``tests/test_parallel_store.py`` locks this in.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.sim import runner
+from repro.sim.stats import SimResult
+from repro.sim.store import default_store, store_key
+
+#: Fork keeps the loaded package in workers (Linux); spawn elsewhere.
+_MP_START_METHOD = (
+    "fork"
+    if "fork" in multiprocessing.get_all_start_methods()
+    else "spawn"
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One cell of the simulation grid."""
+
+    benchmark: str
+    policy_spec: str
+    scale: float
+    config: Optional[MachineConfig] = None
+    phase_interval: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return "%s/%s" % (self.benchmark, self.policy_spec)
+
+
+@dataclass
+class TaskReport:
+    """What happened to one task: outcome, cost, and provenance."""
+
+    task: Task
+    ok: bool
+    cache_hit: bool = False
+    wall_time: float = 0.0
+    worker: Optional[int] = None
+    attempts: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.task.benchmark,
+            "policy": self.task.policy_spec,
+            "ok": self.ok,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time, 4),
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class GridReport:
+    """Results plus the partial-failure and observability report."""
+
+    results: Dict[Task, SimResult]
+    reports: List[TaskReport]
+    workers: int
+    elapsed: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    failures: Dict[Task, str] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Simulated seconds per wall second per worker (0..1-ish)."""
+        if self.elapsed <= 0 or self.workers <= 0:
+            return 0.0
+        busy = sum(
+            report.wall_time for report in self.reports
+            if not report.cache_hit
+        )
+        return busy / (self.elapsed * self.workers)
+
+    def meta(self) -> Dict[str, object]:
+        """JSON-safe observability blob for ``SuiteResult.to_json()``."""
+        return {
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed, 4),
+            "worker_utilization": round(self.utilization, 4),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "failed_tasks": len(self.failures),
+            "tasks": [report.to_dict() for report in self.reports],
+        }
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its per-task wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise TaskTimeout("task exceeded its timeout")
+
+
+def _execute_task(payload) -> Tuple[str, object, float, int]:
+    """Worker-side entry: run one task, never raise.
+
+    Returns ``("ok", SimResult, wall, pid)`` or
+    ``("error", message, wall, pid)``.  The timeout is enforced with
+    SIGALRM where available (pool workers run tasks on their main
+    thread); simulations are pure CPU loops, so the alarm lands
+    promptly between bytecodes.
+    """
+    task, use_cache, timeout = payload
+    start = time.perf_counter()
+    alarmed = False
+    try:
+        if timeout and hasattr(signal, "SIGALRM"):
+            signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.alarm(max(1, int(math.ceil(timeout))))
+            alarmed = True
+        result = runner.run_policy(
+            task.benchmark,
+            task.policy_spec,
+            scale=task.scale,
+            config=task.config,
+            phase_interval=task.phase_interval,
+            use_cache=use_cache,
+        )
+        return ("ok", result, time.perf_counter() - start, os.getpid())
+    except Exception as exc:
+        message = "%s: %s" % (type(exc).__name__, exc)
+        return ("error", message, time.perf_counter() - start, os.getpid())
+    finally:
+        if alarmed:
+            signal.alarm(0)
+
+
+def _resolve_cached(
+    task: Task, use_cache: bool
+) -> Optional[SimResult]:
+    """Parent-side cache probe (memo, then store) without simulating."""
+    if not use_cache:
+        return None
+    key = runner._memo_key(
+        task.benchmark, task.policy_spec, task.scale, task.config,
+        task.phase_interval,
+    )
+    cached = runner._CACHE.get(key)
+    if cached is not None:
+        return cached
+    store = default_store()
+    if store is None:
+        return None
+    from repro import workloads
+
+    config = task.config if task.config is not None else (
+        workloads.experiment_config()
+    )
+    result = store.load(
+        store_key(task.benchmark, task.policy_spec, task.scale, config,
+                  task.phase_interval)
+    )
+    if result is not None:
+        runner._CACHE[key] = result
+    return result
+
+
+def default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def run_grid(
+    tasks: Sequence[Task],
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[TaskReport, int, int], None]] = None,
+) -> GridReport:
+    """Run ``tasks`` across a worker pool; never raises for a bad task.
+
+    Args:
+        tasks: grid cells; duplicates are deduplicated.
+        workers: pool size (default: CPU count).  ``workers <= 1``
+            runs in-process, still producing the same report shape.
+        use_cache: consult/populate the memo and persistent store.
+        timeout: per-task wall-clock budget in seconds.
+        retries: re-submissions allowed per task after a failure.
+        progress: callback ``(report, done, total)`` per finished task.
+    """
+    if workers is None:
+        workers = default_workers()
+    ordered: List[Task] = []
+    seen = set()
+    for task in tasks:
+        if task not in seen:
+            seen.add(task)
+            ordered.append(task)
+
+    started = time.perf_counter()
+    results: Dict[Task, SimResult] = {}
+    reports: List[TaskReport] = []
+    failures: Dict[Task, str] = {}
+    pending: List[Task] = []
+    done = 0
+
+    def finish(report: TaskReport) -> None:
+        nonlocal done
+        done += 1
+        reports.append(report)
+        if progress is not None:
+            progress(report, done, len(ordered))
+
+    for task in ordered:
+        cached = _resolve_cached(task, use_cache)
+        if cached is not None:
+            results[task] = cached
+            finish(TaskReport(task=task, ok=True, cache_hit=True))
+        else:
+            pending.append(task)
+    cache_hits = len(results)
+
+    def record_success(task, result, wall, pid, attempts) -> None:
+        results[task] = result
+        if use_cache:
+            runner.seed_cache(
+                task.benchmark, task.policy_spec, task.scale, result,
+                config=task.config, phase_interval=task.phase_interval,
+            )
+        finish(TaskReport(
+            task=task, ok=True, wall_time=wall, worker=pid,
+            attempts=attempts,
+        ))
+
+    def record_failure(task, message, wall, pid, attempts) -> None:
+        failures[task] = message
+        finish(TaskReport(
+            task=task, ok=False, wall_time=wall, worker=pid,
+            attempts=attempts, error=message,
+        ))
+
+    if pending and workers <= 1:
+        for task in pending:
+            attempts = 0
+            while True:
+                status, payload, wall, pid = _execute_task(
+                    (task, use_cache, timeout)
+                )
+                attempts += 1
+                if status == "ok":
+                    record_success(task, payload, wall, pid, attempts)
+                    break
+                if attempts > retries:
+                    record_failure(task, payload, wall, pid, attempts)
+                    break
+    elif pending:
+        _run_pool(
+            pending, workers, use_cache, timeout, retries,
+            record_success, record_failure,
+        )
+
+    return GridReport(
+        results=results,
+        reports=reports,
+        workers=workers,
+        elapsed=time.perf_counter() - started,
+        cache_hits=cache_hits,
+        cache_misses=len(ordered) - cache_hits,
+        failures=failures,
+    )
+
+
+def _run_pool(
+    pending: Sequence[Task],
+    workers: int,
+    use_cache: bool,
+    timeout: Optional[float],
+    retries: int,
+    record_success,
+    record_failure,
+) -> None:
+    """Dispatch misses to a process pool with retry and pool-rebuild."""
+    context = multiprocessing.get_context(_MP_START_METHOD)
+    queue: List[Tuple[Task, int]] = [(task, 0) for task in pending]
+    while queue:
+        batch, queue = queue, []
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(batch)), mp_context=context
+        )
+        try:
+            futures = {
+                pool.submit(_execute_task, (task, use_cache, timeout)):
+                (task, attempts)
+                for task, attempts in batch
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    task, attempts = futures[future]
+                    try:
+                        status, payload, wall, pid = future.result()
+                    except Exception as exc:
+                        # The worker died without reporting (OOM kill,
+                        # broken pool): treat like any other failure.
+                        status = "error"
+                        payload = "%s: %s" % (type(exc).__name__, exc)
+                        wall, pid = 0.0, None
+                    attempts += 1
+                    if status == "ok":
+                        record_success(task, payload, wall, pid, attempts)
+                    elif attempts <= retries:
+                        queue.append((task, attempts))
+                    else:
+                        record_failure(task, payload, wall, pid, attempts)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+__all__ = [
+    "Task",
+    "TaskReport",
+    "GridReport",
+    "run_grid",
+    "default_workers",
+]

@@ -1,8 +1,17 @@
-"""Shared experiment runner with per-process result caching.
+"""Shared experiment runner: memo + persistent store in front of the sim.
 
 Most figures reuse the same (benchmark, policy) simulations — Figure 4
 needs LIN(1..4) and LRU, Figure 9 reuses LRU and LIN(4) and adds SBAR —
-so results are memoized on (benchmark, policy-spec, scale).
+so :func:`run_policy` is a two-level cache in front of
+:class:`~repro.sim.simulator.Simulator`:
+
+1. an in-process memo (free repeat lookups within one process), and
+2. the persistent :mod:`repro.sim.store` (free repeat runs across
+   processes, worker pools, and sessions).
+
+Both levels key on the full (benchmark, policy-spec, scale, config,
+phase-interval) tuple; the store additionally keys on code version so
+it can never serve stale results.  ``use_cache=False`` bypasses both.
 """
 
 from __future__ import annotations
@@ -16,6 +25,9 @@ from repro.sim.stats import SimResult
 
 _CACHE: Dict[Tuple, SimResult] = {}
 
+#: In-process memo counters, surfaced by :func:`cache_stats`.
+_MEMO_HITS = {"memo_hits": 0, "simulations": 0}
+
 
 def trace_scale() -> float:
     """Global trace-length multiplier, settable via REPRO_SCALE.
@@ -24,6 +36,17 @@ def trace_scale() -> float:
     more converged runs, or ``0.25`` for a quick smoke pass.
     """
     return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def _memo_key(
+    benchmark: str,
+    policy_spec: str,
+    scale: float,
+    config: Optional[MachineConfig],
+    phase_interval: Optional[int],
+) -> Tuple:
+    return (benchmark, policy_spec.strip().lower(), scale, config,
+            phase_interval)
 
 
 def run_policy(
@@ -36,27 +59,71 @@ def run_policy(
 ) -> SimResult:
     """Simulate one benchmark surrogate under one policy.
 
-    ``policy_spec`` is a :func:`repro.sim.simulator.build_l2_policy`
-    string.  Results are cached per process unless ``use_cache=False``
-    or a custom config / phase sampling is requested.
+    ``policy_spec`` is a registry spec string (see
+    :func:`repro.cache.replacement.registry.parse_policy_spec`).
+    Results come from the in-process memo, then the persistent store,
+    then a fresh simulation; ``use_cache=False`` forces the simulation
+    and skips both caches.
     """
     from repro import workloads  # deferred: workloads import the sim layer
+    from repro.sim.store import default_store, store_key
 
     if scale is None:
         scale = trace_scale()
-    cacheable = use_cache and config is None and phase_interval is None
-    key = (benchmark, policy_spec, scale)
-    if cacheable and key in _CACHE:
+    key = _memo_key(benchmark, policy_spec, scale, config, phase_interval)
+    if use_cache and key in _CACHE:
+        _MEMO_HITS["memo_hits"] += 1
         return _CACHE[key]
 
-    if config is None:
-        config = workloads.experiment_config()
+    resolved_config = config if config is not None else (
+        workloads.experiment_config()
+    )
+    store = default_store() if use_cache else None
+    persistent_key = None
+    if store is not None:
+        persistent_key = store_key(
+            benchmark, policy_spec, scale, resolved_config, phase_interval
+        )
+        result = store.load(persistent_key)
+        if result is not None:
+            _CACHE[key] = result
+            return result
+
     trace = workloads.build_trace(benchmark, scale=scale)
-    simulator = Simulator(config, policy_spec, phase_interval=phase_interval)
+    simulator = Simulator(
+        resolved_config, policy_spec, phase_interval=phase_interval
+    )
     result = simulator.run(trace)
-    if cacheable:
+    _MEMO_HITS["simulations"] += 1
+    if store is not None:
+        store.save(
+            persistent_key,
+            result,
+            benchmark=benchmark,
+            policy_spec=policy_spec,
+            scale=scale,
+            phase_interval=phase_interval,
+        )
+    if use_cache:
         _CACHE[key] = result
     return result
+
+
+def seed_cache(
+    benchmark: str,
+    policy_spec: str,
+    scale: float,
+    result: SimResult,
+    config: Optional[MachineConfig] = None,
+    phase_interval: Optional[int] = None,
+) -> None:
+    """Install a result into the in-process memo.
+
+    The parallel engine uses this so results computed by workers are
+    free for subsequent :func:`run_policy` calls in the parent.
+    """
+    _CACHE[_memo_key(benchmark, policy_spec, scale, config,
+                     phase_interval)] = result
 
 
 def ipc_improvement(result: SimResult, baseline: SimResult) -> float:
@@ -75,6 +142,19 @@ def miss_change(result: SimResult, baseline: SimResult) -> float:
         * (result.demand_misses - baseline.demand_misses)
         / baseline.demand_misses
     )
+
+
+def cache_stats() -> Dict[str, int]:
+    """Counters for both cache levels (memo + persistent store)."""
+    from repro.sim.store import default_store
+
+    stats = dict(_MEMO_HITS)
+    store = default_store()
+    stats.update(
+        store.counters() if store is not None
+        else {"store_hits": 0, "store_misses": 0}
+    )
+    return stats
 
 
 def clear_cache() -> None:

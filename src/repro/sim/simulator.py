@@ -22,12 +22,13 @@ completion times.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Union
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.replacement import LINPolicy, LRUPolicy, ReplacementPolicy
-from repro.cache.replacement.dip import BIPPolicy, DIPController, LIPPolicy
-from repro.cache.replacement.plru import CostAwareTreePLRUPolicy, TreePLRUPolicy
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.cache.replacement.dip import DIPController
+from repro.cache.replacement.registry import parse_policy_spec
 from repro.config import MachineConfig, baseline_config
 from repro.cpu.store_buffer import StoreBuffer
 from repro.cpu.window import WindowModel
@@ -53,68 +54,20 @@ PolicyLike = Union[
 
 
 def build_l2_policy(spec: PolicyLike, config: MachineConfig):
-    """Resolve a policy spec into (fixed_policy, adaptive_controller).
+    """Deprecated: resolve a policy spec into (fixed, controller).
 
-    Strings accepted: ``"lru"``, ``"lin"``, ``"lin(N)"``, ``"sbar"``,
-    ``"sbar(<selection>,<leaders>)"``, ``"cbs-local"``, ``"cbs-global"``,
-    ``"lip"``, ``"bip"``, ``"dip"``.  Policy and controller instances
-    pass through unchanged.
+    The spec grammar now lives in the policy registry — use
+    :func:`repro.cache.replacement.registry.parse_policy_spec`, which
+    this shim forwards to (and which also resolves specs registered by
+    user code via :func:`~repro.cache.replacement.registry.register_policy`).
     """
-    if isinstance(
-        spec,
-        (SBARController, CBSController, DIPController, TournamentController),
-    ):
-        return None, spec
-    if isinstance(spec, ReplacementPolicy):
-        return spec, None
-    name = spec.strip().lower()
-    n_sets = config.l2.n_sets
-    assoc = config.l2.associativity
-    if name == "lru":
-        return LRUPolicy(), None
-    if name == "lin":
-        return LINPolicy(), None
-    if name.startswith("lin(") and name.endswith(")"):
-        return LINPolicy(int(name[4:-1])), None
-    if name == "sbar":
-        # 32 leaders at the paper's 1024-set geometry; proportionally
-        # denser (1/16 of sets, floor 8) on scaled-down caches, where
-        # shorter traces put a premium on detection speed.  Tiny caches
-        # clamp to one leader per set.
-        n_leaders = min(n_sets, max(8, min(32, n_sets // 16)))
-        return None, SBARController(n_sets, assoc, n_leaders=n_leaders)
-    if name.startswith("sbar(") and name.endswith(")"):
-        selection, count = name[5:-1].split(",")
-        return None, SBARController(
-            n_sets,
-            assoc,
-            n_leaders=int(count),
-            selection=selection.strip(),
-            epoch_instructions=2_000_000,
-        )
-    if name == "plru":
-        return TreePLRUPolicy(), None
-    if name == "cost-plru":
-        return CostAwareTreePLRUPolicy(), None
-    if name == "lip":
-        return LIPPolicy(), None
-    if name == "bip":
-        return BIPPolicy(), None
-    if name == "dip":
-        n_leaders = min(32, max(8, n_sets // 16))
-        return None, DIPController(n_sets, assoc, n_leaders=n_leaders)
-    if name == "tournament":
-        # A representative three-way field: recency, cost, insertion.
-        return None, TournamentController(
-            n_sets,
-            [LRUPolicy(), LINPolicy(4), BIPPolicy()],
-            n_leaders_per_policy=max(1, min(16, n_sets // 32)),
-        )
-    if name == "cbs-local":
-        return None, CBSController(n_sets, assoc, scope="local")
-    if name == "cbs-global":
-        return None, CBSController(n_sets, assoc, scope="global")
-    raise ValueError("unknown policy spec %r" % (spec,))
+    warnings.warn(
+        "build_l2_policy is deprecated; use "
+        "repro.cache.replacement.registry.parse_policy_spec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return parse_policy_spec(spec, config)
 
 
 class Simulator:
@@ -140,7 +93,7 @@ class Simulator:
         warmup_instructions: int = 0,
     ) -> None:
         self.config = config or baseline_config()
-        fixed, controller = build_l2_policy(policy, self.config)
+        fixed, controller = parse_policy_spec(policy, self.config)
         self.controller = controller
         self._policy_label = (
             controller.name if controller is not None else fixed.name

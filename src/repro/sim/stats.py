@@ -7,8 +7,8 @@ Table 1 delta study, and the Figure 11 phase samples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
 from repro.mlp.cost import QUANTIZATION_STEP, quantize_cost
 from repro.mlp.delta import DeltaSummary
@@ -89,6 +89,21 @@ class CostDistribution:
             return 0.0
         return 100.0 * self.counts[-1] / self.total
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counts": list(self.counts),
+            "total": self.total,
+            "cost_sum": self.cost_sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CostDistribution":
+        distribution = cls()
+        distribution.counts = [int(c) for c in data["counts"]]
+        distribution.total = int(data["total"])
+        distribution.cost_sum = float(data["cost_sum"])
+        return distribution
+
 
 @dataclass
 class SimResult:
@@ -138,6 +153,31 @@ class SimResult:
     @property
     def avg_mlp_cost(self) -> float:
         return self.cost_distribution.average
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict; exact inverse of :meth:`from_dict`.
+
+        Floats survive the round trip bit-identically (Python's json
+        emits shortest-repr floats), which the persistent result store
+        relies on for serial-vs-cached equality.
+        """
+        data = asdict(self)
+        data["cost_distribution"] = self.cost_distribution.to_dict()
+        data["delta_summary"] = asdict(self.delta_summary)
+        data["phases"] = [asdict(phase) for phase in self.phases]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        payload = dict(data)
+        payload["cost_distribution"] = CostDistribution.from_dict(
+            payload["cost_distribution"]
+        )
+        payload["delta_summary"] = DeltaSummary(**payload["delta_summary"])
+        payload["phases"] = [
+            PhaseSample(**phase) for phase in payload["phases"]
+        ]
+        return cls(**payload)
 
     def summary_line(self) -> str:
         return (

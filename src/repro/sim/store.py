@@ -1,0 +1,195 @@
+"""Persistent on-disk result store: simulate once, reuse everywhere.
+
+Every figure in the paper reads from the same (benchmark x policy)
+matrix, but the old memo in :mod:`repro.sim.runner` was a per-process
+dict — a new process (or a worker pool) re-simulated everything.  The
+store upgrades that memo to content-addressed JSON files, one per
+result, so repeat runs are free across processes and across sessions:
+
+* **Location** — ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``.
+  Set ``REPRO_NO_STORE=1`` to disable persistence entirely (the
+  in-process memo still works).
+* **Keying** — a SHA-256 over the benchmark name, canonical policy
+  spec, trace scale, full machine config, phase interval, the repro
+  package's source hash, and (for user-registered policies) the
+  factory's source hash.  Any code or configuration change therefore
+  misses cleanly instead of returning stale results.
+* **Format** — one JSON file per key holding the key fields (for
+  debugging) and ``SimResult.to_dict()``.  Floats round-trip
+  bit-identically through Python's json, so a stored result is
+  indistinguishable from a fresh simulation.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing on the same key at worst both compute it; neither ever reads a
+torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.config import MachineConfig
+from repro.sim.stats import SimResult
+
+_FORMAT_VERSION = 1
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file, cached per process.
+
+    Keys include this hash so editing the simulator invalidates every
+    stored result; the walk costs ~1 ms and runs once per process.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def store_key(
+    benchmark: str,
+    policy_spec: str,
+    scale: float,
+    config: MachineConfig,
+    phase_interval: Optional[int] = None,
+) -> str:
+    """Content hash identifying one simulation, stable across processes."""
+    from repro.cache.replacement.registry import policy_fingerprint
+
+    fields = {
+        "version": _FORMAT_VERSION,
+        "benchmark": benchmark,
+        "policy_spec": policy_spec.strip().lower(),
+        "scale": repr(float(scale)),
+        "config": asdict(config),
+        "phase_interval": phase_interval,
+        "code": code_version(),
+        "policy_code": policy_fingerprint(policy_spec),
+    }
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultStore:
+    """JSON-per-key result store rooted at one directory.
+
+    Tracks ``hits``/``misses`` counters for observability; the suite
+    runner surfaces them in ``SuiteResult.to_json()``.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro"
+            )
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / ("%s.json" % key)
+
+    def load(self, key: str) -> Optional[SimResult]:
+        """Return the stored result for ``key``, or None on a miss.
+
+        Corrupt files (interrupted writes predating this store's
+        atomic-replace, manual edits) count as misses and are removed.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, key: str, result: SimResult, **key_fields) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"key_fields": key_fields, "result": result.to_dict()}
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def counters(self) -> Dict[str, int]:
+        return {"store_hits": self.hits, "store_misses": self.misses}
+
+
+_stores: Dict[str, ResultStore] = {}
+
+
+def default_store() -> Optional[ResultStore]:
+    """The process-wide store for the current environment, or None.
+
+    Re-reads ``REPRO_CACHE_DIR``/``REPRO_NO_STORE`` on every call so
+    tests (and CLIs) can redirect or disable persistence by mutating
+    the environment; instances are cached per root so hit/miss
+    counters accumulate.
+    """
+    if os.environ.get("REPRO_NO_STORE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR") or str(
+        Path.home() / ".cache" / "repro"
+    )
+    store = _stores.get(root)
+    if store is None:
+        store = _stores[root] = ResultStore(root)
+    return store
+
+
+__all__ = ["ResultStore", "default_store", "store_key", "code_version"]

@@ -2,13 +2,20 @@
 
 Downstream users typically want the whole comparison grid, not single
 runs.  :func:`run_suite` executes a (benchmarks x policies) matrix —
-reusing the per-process result cache — and returns a
-:class:`SuiteResult` that renders as text, JSON, or CSV, so results
-can feed external plotting without re-simulation.
+serially through the two-level result cache, or fanned out across a
+worker pool with ``workers=N`` — and returns a :class:`SuiteResult`
+that renders as text, JSON, or CSV, so results can feed external
+plotting without re-simulation.
+
+The parallel path is failure-tolerant: a task that keeps crashing or
+times out becomes an entry in ``SuiteResult.failures`` and a hole in
+the matrix rather than an exception, and ``SuiteResult.meta`` carries
+the engine's observability report (per-task wall time, worker
+utilization, cache hit/miss counters).
 
 CLI::
 
-    python -m repro.sim.suite --policies lru,lin(4),sbar --json out.json
+    python -m repro.sim.suite --policies "lru,lin(4),sbar" --workers 8
 """
 
 from __future__ import annotations
@@ -18,9 +25,11 @@ import csv
 import io
 import json
 import sys
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.cache.replacement.registry import split_specs
 from repro.sim.runner import ipc_improvement, run_policy
 from repro.sim.stats import SimResult
 from repro.workloads import BENCHMARKS
@@ -41,41 +50,66 @@ EXPORT_FIELDS = (
     "writebacks",
 )
 
+#: Column order of :meth:`SuiteResult.to_rows` (and the CSV header).
+ROW_FIELDS = (
+    ("benchmark", "policy", "ipc_improvement_pct")
+    + EXPORT_FIELDS
+    + ("cost_histogram_pct",)
+)
+
 
 @dataclass
 class SuiteResult:
-    """Results of one suite run, indexed [benchmark][policy]."""
+    """Results of one suite run, indexed [benchmark][policy].
+
+    ``failures`` maps benchmark -> policy -> error message for matrix
+    cells the parallel engine could not complete; those cells are
+    simply absent from ``results``.  ``meta`` is the engine's
+    observability report (present when the suite ran with workers).
+    """
 
     policies: List[str]
     benchmarks: List[str]
     results: Dict[str, Dict[str, SimResult]]
     scale: Optional[float]
+    failures: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    meta: Optional[Dict[str, object]] = None
 
     def result(self, benchmark: str, policy: str) -> SimResult:
         return self.results[benchmark][policy]
 
-    def improvement(self, benchmark: str, policy: str) -> float:
-        """IPC improvement over the first policy in the matrix."""
-        baseline = self.results[benchmark][self.policies[0]]
-        return ipc_improvement(self.results[benchmark][policy], baseline)
+    def improvement(self, benchmark: str, policy: str) -> Optional[float]:
+        """IPC improvement over the first policy in the matrix.
+
+        None when either this cell or the baseline cell failed.
+        """
+        cells = self.results.get(benchmark, {})
+        baseline = cells.get(self.policies[0])
+        result = cells.get(policy)
+        if baseline is None or result is None:
+            return None
+        return ipc_improvement(result, baseline)
 
     # -- renderings -----------------------------------------------------
 
     def to_rows(self) -> List[Dict[str, object]]:
-        """Flat list of dicts, one per (benchmark, policy) run."""
+        """Flat list of dicts, one per completed (benchmark, policy) run."""
         rows: List[Dict[str, object]] = []
         for benchmark in self.benchmarks:
             for policy in self.policies:
-                result = self.results[benchmark][policy]
+                result = self.results.get(benchmark, {}).get(policy)
+                if result is None:
+                    continue
+                improvement = self.improvement(benchmark, policy)
                 row: Dict[str, object] = {
                     "benchmark": benchmark,
                     "policy": policy,
-                    "ipc_improvement_pct": round(
-                        self.improvement(benchmark, policy), 3
+                    "ipc_improvement_pct": (
+                        None if improvement is None else round(improvement, 3)
                     ),
                 }
-                for field in EXPORT_FIELDS:
-                    row[field] = getattr(result, field)
+                for field_name in EXPORT_FIELDS:
+                    row[field_name] = getattr(result, field_name)
                 row["cost_histogram_pct"] = [
                     round(p, 3)
                     for p in result.cost_distribution.percentages
@@ -84,20 +118,26 @@ class SuiteResult:
         return rows
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"scale": self.scale, "runs": self.to_rows()}, indent=2
-        )
+        payload: Dict[str, object] = {
+            "scale": self.scale,
+            "runs": self.to_rows(),
+        }
+        if self.failures:
+            payload["failures"] = self.failures
+        if self.meta is not None:
+            payload["meta"] = self.meta
+        return json.dumps(payload, indent=2)
 
     def to_csv(self) -> str:
-        rows = self.to_rows()
-        for row in rows:
-            row["cost_histogram_pct"] = "|".join(
-                str(v) for v in row["cost_histogram_pct"]
-            )
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+        writer = csv.DictWriter(buffer, fieldnames=list(ROW_FIELDS))
         writer.writeheader()
-        writer.writerows(rows)
+        for row in self.to_rows():
+            flat = dict(row)
+            flat["cost_histogram_pct"] = "|".join(
+                str(v) for v in flat["cost_histogram_pct"]
+            )
+            writer.writerow(flat)
         return buffer.getvalue()
 
     def to_text(self) -> str:
@@ -107,13 +147,17 @@ class SuiteResult:
         for benchmark in self.benchmarks:
             cells = []
             for policy in self.policies:
-                result = self.results[benchmark][policy]
-                if policy == self.policies[0]:
+                result = self.results.get(benchmark, {}).get(policy)
+                if result is None:
+                    cells.append("%14s" % "FAILED")
+                elif policy == self.policies[0]:
                     cells.append("%14s" % ("IPC %.4f" % result.ipc))
                 else:
-                    cells.append(
-                        "%14s" % ("%+.1f%%" % self.improvement(benchmark, policy))
-                    )
+                    improvement = self.improvement(benchmark, policy)
+                    cells.append("%14s" % (
+                        "-" if improvement is None
+                        else "%+.1f%%" % improvement
+                    ))
             lines.append("%-10s" % benchmark + "".join(cells))
         return "\n".join(lines)
 
@@ -122,23 +166,89 @@ def run_suite(
     policies: Sequence[str] = DEFAULT_POLICIES,
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
+    workers: int = 0,
+    use_cache: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
 ) -> SuiteResult:
-    """Run the matrix; the first policy is the baseline column."""
+    """Run the matrix; the first policy is the baseline column.
+
+    ``workers=0`` (the default) runs serially in-process and raises on
+    the first simulation error, exactly as before.  ``workers >= 1``
+    routes the grid through :func:`repro.sim.parallel.run_grid`:
+    failures become ``SuiteResult.failures`` entries, and the
+    observability report lands in ``SuiteResult.meta``.  Both paths
+    produce bit-identical ``SimResult`` values.
+    """
     if not policies:
         raise ValueError("need at least one policy")
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-    results: Dict[str, Dict[str, SimResult]] = {}
+
+    if workers:
+        from repro.sim.parallel import Task, run_grid
+        from repro.sim.runner import trace_scale
+
+        resolved_scale = scale if scale is not None else trace_scale()
+        tasks = [
+            Task(benchmark=benchmark, policy_spec=policy,
+                 scale=resolved_scale)
+            for benchmark in names
+            for policy in policies
+        ]
+        grid = run_grid(
+            tasks,
+            workers=workers,
+            use_cache=use_cache,
+            timeout=timeout,
+            retries=retries,
+            progress=progress,
+        )
+        results: Dict[str, Dict[str, SimResult]] = {
+            benchmark: {} for benchmark in names
+        }
+        failures: Dict[str, Dict[str, str]] = {}
+        for task, result in grid.results.items():
+            results[task.benchmark][task.policy_spec] = result
+        for task, message in grid.failures.items():
+            failures.setdefault(task.benchmark, {})[task.policy_spec] = (
+                message
+            )
+        return SuiteResult(
+            policies=list(policies),
+            benchmarks=names,
+            results=results,
+            scale=scale,
+            failures=failures,
+            meta=grid.meta(),
+        )
+
+    results = {}
     for benchmark in names:
         results[benchmark] = {}
         for policy in policies:
             results[benchmark][policy] = run_policy(
-                benchmark, policy, scale=scale
+                benchmark, policy, scale=scale, use_cache=use_cache
             )
     return SuiteResult(
         policies=list(policies),
         benchmarks=names,
         results=results,
         scale=scale,
+    )
+
+
+def _progress_printer(report, done, total) -> None:
+    source = "cache" if report.cache_hit else (
+        "worker %s" % report.worker if report.worker else "local"
+    )
+    status = "ok" if report.ok else "FAILED"
+    print(
+        "[%d/%d] %-24s %6.2fs  %s  %s"
+        % (done, total, report.task.label, report.wall_time, source,
+           status),
+        file=sys.stderr,
+        flush=True,
     )
 
 
@@ -149,20 +259,68 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--policies", default=",".join(DEFAULT_POLICIES),
-        help="comma-separated policy specs (first = baseline)",
+        help="comma-separated policy specs (first = baseline); commas "
+             'inside parens are safe: "lru,sbar(simple-static,16)"',
     )
     parser.add_argument("--benchmarks", default=None)
     parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan the matrix out over N worker processes (default: "
+             "serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the in-process memo and the persistent store",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per finished task to stderr",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget (parallel mode)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-submissions per failed task (parallel mode, default 1)",
+    )
     parser.add_argument("--json", metavar="FILE", default=None)
     parser.add_argument("--csv", metavar="FILE", default=None)
     args = parser.parse_args(argv)
 
+    started = time.perf_counter()
     suite = run_suite(
-        policies=args.policies.split(","),
-        benchmarks=args.benchmarks.split(",") if args.benchmarks else None,
+        policies=split_specs(args.policies),
+        benchmarks=split_specs(args.benchmarks) if args.benchmarks else None,
         scale=args.scale,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=_progress_printer if args.progress else None,
     )
     print(suite.to_text())
+    if suite.meta is not None:
+        cache = suite.meta["cache"]
+        print(
+            "[%d workers: %.1fs, %.0f%% utilization, cache %d hit / %d "
+            "miss, %d failed]"
+            % (
+                suite.meta["workers"],
+                suite.meta["elapsed_s"],
+                100.0 * suite.meta["worker_utilization"],
+                cache["hits"],
+                cache["misses"],
+                suite.meta["failed_tasks"],
+            ),
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "[serial: %.1fs]" % (time.perf_counter() - started),
+            file=sys.stderr,
+        )
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(suite.to_json())
@@ -171,7 +329,7 @@ def main(argv=None) -> int:
         with open(args.csv, "w") as handle:
             handle.write(suite.to_csv())
         print("wrote %s" % args.csv)
-    return 0
+    return 1 if suite.failures else 0
 
 
 if __name__ == "__main__":

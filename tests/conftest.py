@@ -7,6 +7,8 @@ trace scales.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import (
@@ -16,6 +18,21 @@ from repro.config import (
     MSHRConfig,
     ProcessorConfig,
 )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a session-scoped tmp dir.
+
+    Keeps the suite hermetic (no reads from a developer's warm
+    ~/.cache/repro) while still exercising store hits across tests
+    within one session.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-store")
+    )
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture

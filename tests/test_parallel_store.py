@@ -1,0 +1,226 @@
+"""Parallel engine and persistent-store tests.
+
+Locks in the PR's two core guarantees: the worker pool returns
+bit-identical results to the serial path, and the store keys on
+everything that can change a result (and nothing that can't).
+"""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.sim.parallel import Task, run_grid
+from repro.sim.runner import clear_cache, run_policy
+from repro.sim.store import ResultStore, default_store, store_key
+from repro.sim.suite import EXPORT_FIELDS, SuiteResult, run_suite
+from repro.workloads import experiment_config
+
+SCALE = 0.05
+BENCHMARKS = ("lucas", "mcf")
+POLICIES = ("lru", "lin(4)")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memo and its own empty store."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def assert_results_identical(first, second):
+    for field in EXPORT_FIELDS:
+        assert getattr(first, field) == getattr(second, field), field
+    assert first.cost_distribution.counts == second.cost_distribution.counts
+    assert first.cost_distribution.cost_sum == (
+        second.cost_distribution.cost_sum
+    )
+    assert first.delta_summary == second.delta_summary
+
+
+class TestParallelEqualsSerial:
+    def test_bit_identical_matrix(self, tmp_path, monkeypatch):
+        serial = run_suite(
+            policies=POLICIES, benchmarks=BENCHMARKS, scale=SCALE
+        )
+        # Fresh store + memo so the pool really computes in workers.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        clear_cache()
+        parallel = run_suite(
+            policies=POLICIES, benchmarks=BENCHMARKS, scale=SCALE,
+            workers=2,
+        )
+        assert not parallel.failures
+        for benchmark in BENCHMARKS:
+            for policy in POLICIES:
+                assert_results_identical(
+                    serial.result(benchmark, policy),
+                    parallel.result(benchmark, policy),
+                )
+
+    def test_meta_surfaced_in_json(self):
+        suite = run_suite(
+            policies=("lru",), benchmarks=("lucas",), scale=SCALE,
+            workers=2,
+        )
+        payload = json.loads(suite.to_json())
+        meta = payload["meta"]
+        assert meta["workers"] == 2
+        assert meta["cache"] == {"hits": 0, "misses": 1}
+        assert len(meta["tasks"]) == 1
+        assert meta["tasks"][0]["ok"] is True
+        assert meta["tasks"][0]["wall_time_s"] > 0
+
+    def test_warm_store_turns_reruns_into_cache_hits(self):
+        first = run_suite(
+            policies=POLICIES, benchmarks=BENCHMARKS, scale=SCALE,
+            workers=2,
+        )
+        assert first.meta["cache"]["misses"] == 4
+        clear_cache()  # memo gone; the store must carry the rerun
+        second = run_suite(
+            policies=POLICIES, benchmarks=BENCHMARKS, scale=SCALE,
+            workers=2,
+        )
+        assert second.meta["cache"] == {"hits": 4, "misses": 0}
+        for benchmark in BENCHMARKS:
+            for policy in POLICIES:
+                assert_results_identical(
+                    first.result(benchmark, policy),
+                    second.result(benchmark, policy),
+                )
+
+
+class TestPartialFailure:
+    def test_bad_policy_becomes_failure_entry(self):
+        suite = run_suite(
+            policies=("lru", "no-such-policy"), benchmarks=("lucas",),
+            scale=SCALE, workers=2, retries=0,
+        )
+        assert suite.result("lucas", "lru").instructions > 0
+        assert "no-such-policy" in suite.failures["lucas"]
+        assert "unknown policy spec" in suite.failures["lucas"][
+            "no-such-policy"
+        ]
+        # Renderings tolerate the hole.
+        assert "FAILED" in suite.to_text()
+        payload = json.loads(suite.to_json())
+        assert len(payload["runs"]) == 1
+        assert payload["failures"]["lucas"]
+        assert suite.to_csv().count("\n") == 2  # header + one row
+
+    def test_retries_are_bounded(self):
+        grid = run_grid(
+            [Task(benchmark="lucas", policy_spec="no-such-policy",
+                  scale=SCALE)],
+            workers=2, retries=2,
+        )
+        assert not grid.results
+        (report,) = grid.reports
+        assert report.ok is False
+        assert report.attempts == 3
+
+    def test_serial_workers_path_matches_pool(self):
+        grid = run_grid(
+            [Task(benchmark="lucas", policy_spec="lru", scale=SCALE)],
+            workers=1,
+        )
+        (task, result), = grid.results.items()
+        assert result.instructions > 0
+        assert grid.reports[0].ok
+
+
+class TestStoreKeying:
+    def test_identical_rerun_hits(self):
+        run_policy("lucas", "lru", scale=SCALE)
+        clear_cache()
+        store = default_store()
+        hits_before = store.hits
+        run_policy("lucas", "lru", scale=SCALE)
+        assert store.hits == hits_before + 1
+
+    def test_scale_and_config_changes_miss(self):
+        config = experiment_config()
+        base = store_key("lucas", "lru", SCALE, config)
+        assert store_key("lucas", "lru", SCALE, config) == base
+        assert store_key("lucas", "lru", 2 * SCALE, config) != base
+        assert store_key(
+            "lucas", "lru", SCALE, scaled_config(512)
+        ) != base
+        assert store_key("lucas", "lin(4)", SCALE, config) != base
+        assert store_key("mcf", "lru", SCALE, config) != base
+        assert store_key(
+            "lucas", "lru", SCALE, config, phase_interval=1000
+        ) != base
+
+    def test_spec_keys_are_canonical(self):
+        config = experiment_config()
+        assert store_key("lucas", " LRU ", SCALE, config) == store_key(
+            "lucas", "lru", SCALE, config
+        )
+
+    def test_result_roundtrip_is_exact(self, tmp_path):
+        result = run_policy("mcf", "lin(4)", scale=SCALE, use_cache=False)
+        store = ResultStore(tmp_path / "roundtrip")
+        store.save("key", result)
+        loaded = store.load("key")
+        assert_results_identical(result, loaded)
+        assert loaded.ipc == result.ipc
+        assert loaded.policy_name == result.policy_name
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "corrupt")
+        store.root.mkdir(parents=True)
+        (store.root / "bad.json").write_text("{not json")
+        assert store.load("bad") is None
+        assert not (store.root / "bad.json").exists()
+
+    def test_no_store_env_disables_persistence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_STORE", "1")
+        assert default_store() is None
+        run_policy("lucas", "lru", scale=SCALE)  # still works, memo-only
+
+
+class TestSuiteResultFixes:
+    def test_empty_matrix_csv_is_header_only(self):
+        suite = run_suite(policies=("lru",), benchmarks=(), scale=SCALE)
+        csv_text = suite.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("benchmark,policy")
+
+    def test_to_csv_does_not_mutate_rows(self):
+        suite = run_suite(
+            policies=("lru",), benchmarks=("lucas",), scale=SCALE
+        )
+        assert suite.to_csv() == suite.to_csv()
+        rows = suite.to_rows()
+        suite.to_csv()
+        assert isinstance(rows[0]["cost_histogram_pct"], list)
+
+
+class TestExperimentsPrewarm:
+    def test_prewarm_tasks_cover_declared_policies(self):
+        from repro.experiments.common import prewarm_tasks
+
+        tasks = prewarm_tasks(
+            ["figure9"], benchmarks=["lucas"], scale=SCALE
+        )
+        assert {task.policy_spec for task in tasks} == {
+            "lru", "lin(4)", "sbar",
+        }
+        assert all(task.benchmark == "lucas" for task in tasks)
+
+    def test_experiments_cli_with_workers(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main([
+            "table1", "--benchmarks", "lucas", "--scale", str(SCALE),
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr()
+        assert "Table 1" in out.out
+        assert "prewarm" in out.err
