@@ -68,10 +68,17 @@ class SetAssociativeCache:
         policy: ReplacementPolicy,
         policy_selector: Optional[Callable[[int], ReplacementPolicy]] = None,
         track_compulsory: bool = True,
+        label: str = "cache",
     ) -> None:
         self.geometry = geometry
         self.policy = policy
         self.policy_selector = policy_selector
+        #: Telemetry identity ("l1i"/"l1d"/"l2") and optional sink; the
+        #: simulator installs a :class:`repro.obs.Observer` here.  All
+        #: hooks are behind ``is not None`` so the disabled path costs
+        #: one pointer test on evictions only.
+        self.label = label
+        self.observer = None
         self.n_sets = geometry.n_sets
         self._sets: List[CacheSet] = [
             CacheSet(geometry.associativity) for _ in range(self.n_sets)
@@ -110,7 +117,13 @@ class SetAssociativeCache:
         self.accesses += 1
         policy.note_access(block, seq)
 
-        position = cache_set.find(block)
+        observer = self.observer
+        profiler = observer.profiler if observer is not None else None
+        if profiler is None:
+            position = cache_set.find(block)
+        else:
+            with profiler.span("cache.lookup"):
+                position = cache_set.find(block)
         if position >= 0:
             self.hits += 1
             policy.on_hit(cache_set, position)
@@ -123,12 +136,20 @@ class SetAssociativeCache:
         self.misses += 1
         result = AccessResult(False, BlockState(block, seq), set_index)
         if cache_set.full:
-            victim_position = policy.choose_victim(cache_set)
+            if profiler is None:
+                victim_position = policy.choose_victim(cache_set)
+            else:
+                with profiler.span("cache.replacement"):
+                    victim_position = policy.choose_victim(cache_set)
             victim = cache_set.evict(victim_position)
             result.victim_block = victim.block
             result.victim_dirty = victim.dirty
             if victim.dirty:
                 self.writebacks += 1
+            if observer is not None:
+                observer.victim_selected(
+                    self.label, set_index, victim, policy.name, cache_set
+                )
         policy.on_fill(cache_set, result.state)
         if is_write:
             result.state.dirty = True

@@ -59,6 +59,14 @@ class CacheSet:
         """Remove and return the entry at ``position``."""
         return self.ways.pop(position)
 
+    def snapshot(self) -> List[dict]:
+        """JSON-safe view of the set, MRU first (event-trace payloads)."""
+        return [
+            {"block": state.block, "cost_q": state.cost_q,
+             "dirty": state.dirty}
+            for state in self.ways
+        ]
+
     def get(self, block: int) -> Optional[BlockState]:
         position = self.find(block)
         if position < 0:

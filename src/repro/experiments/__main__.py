@@ -17,10 +17,12 @@ for a guaranteed-fresh run.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
+from repro import obs
 from repro.cache.replacement.registry import split_specs
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import prewarm_tasks
@@ -39,6 +41,10 @@ def _prewarm(names, benchmarks, scale, workers, show_progress) -> None:
         workers=workers,
         progress=_progress_printer if show_progress else None,
     )
+    # Worker-side runs finalize their telemetry in the worker process;
+    # fold the merged per-result snapshots into this process's session
+    # so --metrics-out sees the whole grid.
+    obs.record_session(grid.merged_metrics())
     print(
         "[prewarm: %d tasks on %d workers in %.1fs — %.0f%% utilization, "
         "cache %d hit / %d miss, %d failed]"
@@ -99,7 +105,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="print one line per finished prewarm task to stderr",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable telemetry and write the session's merged metric "
+             "snapshot (plus profiling spans) as JSON",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="FILE", default=None,
+        help="write a JSONL event trace (workers append .<pid>)",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics_out:
+        obs.configure(metrics=True, profile=True)
+    if args.trace_events:
+        obs.configure(trace_events=args.trace_events)
 
     names = args.names or list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -122,6 +142,14 @@ def main(argv=None) -> int:
         report = EXPERIMENTS[name].run(scale=args.scale, benchmarks=benchmarks)
         print(report.render())
         print("[%s finished in %.1fs]\n" % (name, time.time() - started))
+    if args.metrics_out:
+        payload = {
+            "metrics": obs.session_snapshot(),
+            "profile": obs.session_profile(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("wrote %s" % args.metrics_out)
     return 0
 
 

@@ -39,6 +39,10 @@ class MemoryController:
         self.requests = 0
         self.writebacks = 0
         self.queueing_stalls = 0
+        self.peak_in_flight = 0
+        #: Optional :class:`repro.obs.Observer`; queue-full waits are
+        #: reported when set.
+        self.observer = None
 
     def read_line(self, block: int, when: float) -> float:
         """Fetch cache block ``block``; return the fill-complete time."""
@@ -46,6 +50,8 @@ class MemoryController:
         data_ready = self.banks.access(block, when)
         complete = self.bus.transfer(data_ready)
         heapq.heappush(self._in_flight, complete)
+        if len(self._in_flight) > self.peak_in_flight:
+            self.peak_in_flight = len(self._in_flight)
         self.requests += 1
         return complete
 
@@ -60,6 +66,8 @@ class MemoryController:
         arrive = self.bus.transfer(when)
         complete = self.banks.access(block, arrive)
         heapq.heappush(self._in_flight, complete)
+        if len(self._in_flight) > self.peak_in_flight:
+            self.peak_in_flight = len(self._in_flight)
         self.requests += 1
         self.writebacks += 1
         return complete
@@ -74,6 +82,8 @@ class MemoryController:
             if earliest > when:
                 when = earliest
                 self.queueing_stalls += 1
+                if self.observer is not None:
+                    self.observer.memory_queue_full(when)
         return when
 
     def reset(self) -> None:
@@ -83,6 +93,7 @@ class MemoryController:
         self.requests = 0
         self.writebacks = 0
         self.queueing_stalls = 0
+        self.peak_in_flight = 0
 
     @property
     def isolated_latency(self) -> int:

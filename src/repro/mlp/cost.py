@@ -34,6 +34,22 @@ def quantize_cost(mlp_cost: float) -> int:
     return min(bucket, MAX_COST_Q)
 
 
+def bucket_label(cost_q: int) -> str:
+    """Human-readable cycle range of a quantized cost bucket.
+
+    >>> bucket_label(0)
+    '0-59'
+    >>> bucket_label(7)
+    '420+'
+    """
+    if not 0 <= cost_q <= MAX_COST_Q:
+        raise ValueError("cost_q out of range: %r" % cost_q)
+    low = cost_q * QUANTIZATION_STEP
+    if cost_q == MAX_COST_Q:
+        return "%d+" % low
+    return "%d-%d" % (low, low + QUANTIZATION_STEP - 1)
+
+
 def dequantize_cost(cost_q: int) -> float:
     """Representative cycle value for a quantized cost (bucket midpoint)."""
     if not 0 <= cost_q <= MAX_COST_Q:

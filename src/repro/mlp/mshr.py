@@ -79,6 +79,9 @@ class MSHRFile:
         self.merges = 0
         self.full_stalls = 0
         self.peak_occupancy = 0
+        #: Optional :class:`repro.obs.Observer`; receives miss_start /
+        #: miss_finish transitions and occupancy samples when set.
+        self.observer = None
 
     # -- capacity ------------------------------------------------------
 
@@ -168,6 +171,10 @@ class MSHRFile:
         occupancy = len(self._occupancy_heap)
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
+        if self.observer is not None:
+            self.observer.miss_start(
+                block, issue, complete, is_demand, occupancy
+            )
 
     # -- the Algorithm 1 sweep --------------------------------------------
 
@@ -186,6 +193,10 @@ class MSHRFile:
             self._demand_live -= 1
             if self._in_flight.get(entry.block) is entry:
                 del self._in_flight[entry.block]
+            if self.observer is not None:
+                self.observer.miss_finish(
+                    entry.block, complete, entry.cost, self._demand_live
+                )
             if entry.on_cost is not None:
                 entry.on_cost(entry.cost)
         if target > now and self._demand_live:

@@ -1,0 +1,139 @@
+"""Structured JSONL event traces of simulator internals.
+
+Where metrics aggregate, the event trace narrates: one JSON object per
+line for every miss lifecycle transition, MSHR occupancy change, cost
+quantization, PSEL movement, and victim selection.  Timestamps are
+*simulated* cycles, so a trace is deterministic and two traces of the
+same simulation are diffable line by line — the property the
+differential tests (LIN(0) vs LRU, saturated CBS vs its winner) are
+built on.
+
+Sinks:
+
+* :class:`EventTrace` — appends to a JSONL file.  Fork-safe: a worker
+  process inheriting the configuration writes to ``<path>.<pid>``
+  instead of interleaving with its siblings.
+* :class:`MemoryEventTrace` — collects events in a list (tests).
+* :data:`NULL_TRACE` — swallows everything; the no-op sink installed
+  when event tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class NullEventTrace:
+    """Sink that drops every event (the disabled-path no-op)."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared do-nothing sink.
+NULL_TRACE = NullEventTrace()
+
+
+class EventTrace:
+    """JSONL event sink appending to ``path``.
+
+    The file opens lazily on the first event.  ``origin_pid`` is the
+    process that configured tracing; any other process (a pool worker
+    that inherited the configuration across ``fork``/``spawn``) gets
+    its own ``<path>.<pid>`` file so concurrent workers never interleave
+    writes.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, origin_pid: Optional[int] = None) -> None:
+        self.path = path
+        self.origin_pid = origin_pid if origin_pid is not None else os.getpid()
+        self._handle = None
+        self._handle_pid: Optional[int] = None
+        self.emitted = 0
+
+    def _resolve_path(self, pid: int) -> str:
+        if pid == self.origin_pid:
+            return self.path
+        return "%s.%d" % (self.path, pid)
+
+    def _ensure_handle(self):
+        pid = os.getpid()
+        if self._handle is None or self._handle_pid != pid:
+            # A handle inherited over fork is shared with the parent;
+            # abandon it (never close the parent's fd) and open our own.
+            self._handle = open(
+                self._resolve_path(pid), "a", encoding="utf-8"
+            )
+            self._handle_pid = pid
+        return self._handle
+
+    def emit(self, event: str, **fields) -> None:
+        fields["event"] = event
+        self._ensure_handle().write(
+            json.dumps(fields, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.emitted += 1
+
+    def flush(self) -> None:
+        if self._handle is not None and self._handle_pid == os.getpid():
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and self._handle_pid == os.getpid():
+            self._handle.close()
+        self._handle = None
+        self._handle_pid = None
+
+
+class MemoryEventTrace:
+    """In-memory sink; ``events`` is a list of dicts (for tests)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: str, **fields) -> None:
+        fields["event"] = event
+        self.events.append(fields)
+
+    def of_type(self, event: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e["event"] == event]
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.events = []
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL event file back into dicts (tests, analysis)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+__all__ = [
+    "EventTrace",
+    "MemoryEventTrace",
+    "NullEventTrace",
+    "NULL_TRACE",
+    "read_events",
+]

@@ -1,0 +1,78 @@
+"""Lightweight wall-time profiling spans.
+
+Profiling is the *non*-deterministic half of observability — wall
+times differ run to run — so span data is kept out of metric
+snapshots (which must merge bit-identically between serial and
+parallel execution) and reported separately.
+
+Spans accumulate: entering ``profiler.span("cache.lookup")`` a million
+times yields one summary row with the total seconds and the count.
+The simulator guards every span behind an ``is not None`` check, so a
+disabled profiler costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List
+
+
+class _Span:
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler.add(self._name, perf_counter() - self._start)
+
+
+class Profiler:
+    """Accumulates named wall-time spans."""
+
+    __slots__ = ("_seconds", "_counts")
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one entry of the span ``name``."""
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    def merge(self, other: "Profiler") -> None:
+        for name, seconds in other._seconds.items():
+            self.add(name, seconds, other._counts[name])
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """``{span: {"seconds": total, "count": n}}``, sorted by name."""
+        return {
+            name: {
+                "seconds": round(self._seconds[name], 6),
+                "count": self._counts[name],
+            }
+            for name in sorted(self._seconds)
+        }
+
+    def report_lines(self) -> List[str]:
+        """Human-readable per-span lines, slowest first."""
+        rows = sorted(
+            self._seconds.items(), key=lambda item: item[1], reverse=True
+        )
+        return [
+            "%-28s %10.4fs %12d calls"
+            % (name, seconds, self._counts[name])
+            for name, seconds in rows
+        ]
+
+
+__all__ = ["Profiler"]

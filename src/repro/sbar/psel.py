@@ -13,7 +13,7 @@ from __future__ import annotations
 class PolicySelector:
     """Saturating up/down counter with an MSB output."""
 
-    def __init__(self, n_bits: int = 6) -> None:
+    def __init__(self, n_bits: int = 6, label: str = "psel") -> None:
         if n_bits < 1:
             raise ValueError("PSEL needs at least one bit")
         self.n_bits = n_bits
@@ -23,6 +23,10 @@ class PolicySelector:
         self.value = self._msb_threshold
         self.increments = 0
         self.decrements = 0
+        #: Telemetry identity and optional sink for update events; the
+        #: simulator wires a :class:`repro.obs.Observer` in here.
+        self.label = label
+        self.observer = None
 
     def increment(self, amount: int = 1) -> None:
         """Credit the LIN policy (it avoided a miss LRU incurred)."""
@@ -30,6 +34,8 @@ class PolicySelector:
             raise ValueError("update amounts must be non-negative")
         self.value = min(self.max_value, self.value + amount)
         self.increments += amount
+        if self.observer is not None:
+            self.observer.psel_update(self.label, "inc", amount, self.value)
 
     def decrement(self, amount: int = 1) -> None:
         """Credit the LRU policy (it avoided a miss LIN incurred)."""
@@ -37,6 +43,8 @@ class PolicySelector:
             raise ValueError("update amounts must be non-negative")
         self.value = max(0, self.value - amount)
         self.decrements += amount
+        if self.observer is not None:
+            self.observer.psel_update(self.label, "dec", amount, self.value)
 
     @property
     def msb(self) -> bool:

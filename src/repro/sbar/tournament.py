@@ -77,6 +77,9 @@ class TournamentController:
         self._scores: List[float] = [0.0] * len(policies)
         self._accesses: List[float] = [1e-9] * len(policies)
         self.deferred_updates = 0
+        #: Optional :class:`repro.obs.Observer`; each serviced leader
+        #: miss reports the cost charged to its candidate.
+        self.observer = None
 
     @property
     def name(self) -> str:
@@ -126,6 +129,10 @@ class TournamentController:
         def charge(cost_q: int) -> None:
             # +1 keeps zero-cost misses from being free.
             self._scores[owner] += 1.0 + cost_q
+            if self.observer is not None:
+                self.observer.tournament_update(
+                    self.policies[owner].name, cost_q
+                )
 
         return charge
 

@@ -10,8 +10,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import obs
 from repro.config import scaled_config
 from repro.sim.simulator import Simulator
 from repro.trace.trace_io import load_trace
@@ -47,7 +49,21 @@ def main(argv=None) -> int:
         "--phase-interval", type=int, default=None,
         help="emit per-interval samples every N instructions",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable telemetry and write the run's metric snapshot "
+             "(plus profiling spans) as JSON",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="FILE", default=None,
+        help="write a JSONL event trace of the run",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics_out:
+        obs.configure(metrics=True, profile=True)
+    if args.trace_events:
+        obs.configure(trace_events=args.trace_events)
 
     config = (
         scaled_config(args.l2_kb) if args.l2_kb else experiment_config()
@@ -79,6 +95,14 @@ def main(argv=None) -> int:
     if result.phases:
         print("  per-interval IPC:",
               " ".join("%.2f" % p.ipc for p in result.phases[:40]))
+    if args.metrics_out:
+        payload = {
+            "metrics": result.metrics,
+            "profile": obs.session_profile(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("wrote %s" % args.metrics_out)
     return 0
 
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.obs import merge_snapshots
 from repro.sim import runner
 from repro.sim.stats import SimResult
 from repro.sim.store import default_store, store_key
@@ -109,6 +110,27 @@ class GridReport:
             if not report.cache_hit
         )
         return busy / (self.elapsed * self.workers)
+
+    def merged_metrics(self) -> Optional[Dict[str, object]]:
+        """Deterministic merge of every per-task metric snapshot.
+
+        Results computed with metrics off carry no snapshot and are
+        skipped; returns None when no task has one.  The merge is
+        order-independent (counters sum, gauges fold by their declared
+        aggregation, histograms add per-bucket), so the worker
+        scheduling order cannot leak into the output — ``workers=4``
+        merges bit-identically to a serial run of the same grid.
+        """
+        snapshots = [
+            self.results[task].metrics
+            for task in sorted(
+                self.results, key=lambda t: (t.benchmark, t.policy_spec)
+            )
+            if self.results[task].metrics is not None
+        ]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
 
     def meta(self) -> Dict[str, object]:
         """JSON-safe observability blob for ``SuiteResult.to_json()``."""

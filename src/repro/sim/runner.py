@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.config import MachineConfig
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimResult
@@ -45,8 +46,10 @@ def _memo_key(
     config: Optional[MachineConfig],
     phase_interval: Optional[int],
 ) -> Tuple:
+    # Metrics enablement is part of the key: a result computed with
+    # telemetry off has no metrics snapshot to serve once it's on.
     return (benchmark, policy_spec.strip().lower(), scale, config,
-            phase_interval)
+            phase_interval, obs.metrics_enabled())
 
 
 def run_policy(

@@ -23,8 +23,10 @@ completion times.
 from __future__ import annotations
 
 import warnings
+from time import perf_counter
 from typing import Callable, List, Optional, Union
 
+from repro import obs
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 from repro.cache.replacement.dip import DIPController
@@ -82,6 +84,10 @@ class Simulator:
             but the reported statistics (misses, cost distribution,
             deltas, IPC window) start after this many instructions —
             the warm-up counterpart of the paper's fast-forwarding.
+        observer: explicit :class:`repro.obs.Observer` to wire through
+            the machine; defaults to :func:`repro.obs.default_observer`
+            (None — and therefore zero overhead — unless telemetry is
+            enabled in the environment).
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class Simulator:
         phase_interval: Optional[int] = None,
         prefetcher=None,
         warmup_instructions: int = 0,
+        observer: Optional[obs.Observer] = None,
     ) -> None:
         self.config = config or baseline_config()
         fixed, controller = parse_policy_spec(policy, self.config)
@@ -104,21 +111,25 @@ class Simulator:
         )
         self.store_buffer = StoreBuffer(self.config.processor.store_buffer_size)
         self.l1d = SetAssociativeCache(
-            self.config.l1d, LRUPolicy(), track_compulsory=False
+            self.config.l1d, LRUPolicy(), track_compulsory=False, label="l1d"
         )
         self.l1i = SetAssociativeCache(
-            self.config.l1i, LRUPolicy(), track_compulsory=False
+            self.config.l1i, LRUPolicy(), track_compulsory=False, label="l1i"
         )
         selector = controller.policy_for_set if controller is not None else None
         self.l2 = SetAssociativeCache(
             self.config.l2,
             fixed if fixed is not None else LRUPolicy(),
             policy_selector=selector,
+            label="l2",
         )
         self.mshr = MSHRFile(
             self.config.mshr.n_entries, self.config.mshr.n_cost_adders
         )
         self.memory = MemoryController(self.config.memory)
+        self._obs = observer if observer is not None else obs.default_observer()
+        if self._obs is not None:
+            self._wire_observer(self._obs)
         self.delta = DeltaTracker()
         self.cost_distribution = CostDistribution()
         self.phase_interval = phase_interval
@@ -140,6 +151,31 @@ class Simulator:
         self._warmup_end_instruction = 0
         self._ran = False
 
+    def _wire_observer(self, observer: obs.Observer) -> None:
+        """Install the telemetry sink into every instrumented component."""
+        self.l1i.observer = observer
+        self.l1d.observer = observer
+        self.l2.observer = observer
+        self.mshr.observer = observer
+        self.memory.observer = observer
+        controller = self.controller
+        if controller is None:
+            return
+        if isinstance(controller, SBARController):
+            controller.psel.label = "sbar"
+            controller.psel.observer = observer
+        elif isinstance(controller, CBSController):
+            for index, psel in enumerate(controller._psels):
+                psel.label = (
+                    "cbs" if len(controller._psels) == 1 else "cbs[%d]" % index
+                )
+                psel.observer = observer
+        elif isinstance(controller, DIPController):
+            controller.psel.label = "dip"
+            controller.psel.observer = observer
+        elif isinstance(controller, TournamentController):
+            controller.observer = observer
+
     # -- main loop --------------------------------------------------------
 
     def run(self, trace) -> SimResult:
@@ -147,6 +183,20 @@ class Simulator:
         if self._ran:
             raise RuntimeError("a Simulator instance runs exactly one trace")
         self._ran = True
+        profiler = self._obs.profiler if self._obs is not None else None
+        if profiler is None:
+            return self._finalize(self._replay(trace))
+        # The replay span must close before _finalize folds the
+        # profiler into the session totals, or it would be lost.
+        replay_start = perf_counter()
+        try:
+            current_phase = self._replay(trace)
+        finally:
+            profiler.add("sim.replay", perf_counter() - replay_start)
+        return self._finalize(current_phase)
+
+    def _replay(self, trace) -> Optional[PhaseSample]:
+        """Drive every access through the machine; returns the open phase."""
 
         window = self.window
         controller = self.controller
@@ -201,7 +251,7 @@ class Simulator:
                 window.complete_memory_op(completion)
 
         self.mshr.drain()
-        return self._finalize(current_phase)
+        return current_phase
 
     # -- hierarchy --------------------------------------------------------
 
@@ -311,10 +361,13 @@ class Simulator:
         """
         distribution = self.cost_distribution
         delta = self.delta
+        observer = self._obs
 
         def on_cost(cost: float) -> None:
             cost_q = quantize_cost(cost)
             state.cost_q = cost_q
+            if observer is not None:
+                observer.cost_quantized(block, cost, cost_q)
             if record_stats:
                 distribution.record(cost)
                 delta.record(block, cost)
@@ -378,7 +431,7 @@ class Simulator:
         stall_cycles = window.stall_cycles - getattr(
             self, "_warmup_stall_cycles", 0.0
         )
-        return SimResult(
+        result = SimResult(
             policy_name=self._policy_label,
             instructions=instructions,
             cycles=cycles,
@@ -402,3 +455,6 @@ class Simulator:
             writebacks=self.l2.writebacks,
             psel_final=psel_final,
         )
+        if self._obs is not None:
+            result.metrics = self._obs.finalize_run(self, result)
+        return result

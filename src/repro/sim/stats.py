@@ -130,6 +130,10 @@ class SimResult:
     bus_contended: int = 0
     writebacks: int = 0
     psel_final: Optional[int] = None
+    #: Telemetry snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`)
+    #: attached by the simulator when metrics are enabled; plain nested
+    #: dicts, so ``to_dict``/``from_dict`` round-trip it unchanged.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def ipc(self) -> float:

@@ -34,10 +34,13 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro import obs
 from repro.config import MachineConfig
 from repro.sim.stats import SimResult
 
-_FORMAT_VERSION = 1
+# Version 2: results may carry a telemetry snapshot (SimResult.metrics)
+# and the key includes whether metrics collection was enabled.
+_FORMAT_VERSION = 2
 
 _code_version: Optional[str] = None
 
@@ -78,6 +81,7 @@ def store_key(
         "scale": repr(float(scale)),
         "config": asdict(config),
         "phase_interval": phase_interval,
+        "metrics": obs.metrics_enabled(),
         "code": code_version(),
         "policy_code": policy_fingerprint(policy_spec),
     }

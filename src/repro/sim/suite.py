@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.cache.replacement.registry import split_specs
 from repro.sim.runner import ipc_improvement, run_policy
 from repro.sim.stats import SimResult
@@ -90,6 +91,27 @@ class SuiteResult:
             return None
         return ipc_improvement(result, baseline)
 
+    def merged_metrics(self) -> Optional[Dict[str, object]]:
+        """Merge of every cell's telemetry snapshot, or None.
+
+        Deterministic: counters sum, gauges fold, histograms add, so
+        the same matrix merges bit-identically whether it ran serially
+        or across a pool (``tests/test_obs_integration.py`` locks this
+        in).  Cells simulated with metrics off contribute nothing.
+        """
+        snapshots = [
+            result.metrics
+            for benchmark in self.benchmarks
+            for result in (
+                self.results.get(benchmark, {}).get(policy)
+                for policy in self.policies
+            )
+            if result is not None and result.metrics is not None
+        ]
+        if not snapshots:
+            return None
+        return obs.merge_snapshots(snapshots)
+
     # -- renderings -----------------------------------------------------
 
     def to_rows(self) -> List[Dict[str, object]]:
@@ -126,6 +148,9 @@ class SuiteResult:
             payload["failures"] = self.failures
         if self.meta is not None:
             payload["meta"] = self.meta
+        metrics = self.merged_metrics()
+        if metrics is not None:
+            payload["metrics"] = metrics
         return json.dumps(payload, indent=2)
 
     def to_csv(self) -> str:
@@ -287,7 +312,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--json", metavar="FILE", default=None)
     parser.add_argument("--csv", metavar="FILE", default=None)
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable telemetry and write the merged metric snapshot "
+             "(plus profiling spans, if any) as JSON",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="FILE", default=None,
+        help="write a JSONL event trace (workers append .<pid>)",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics_out:
+        obs.configure(metrics=True, profile=True)
+    if args.trace_events:
+        obs.configure(trace_events=args.trace_events)
 
     started = time.perf_counter()
     suite = run_suite(
@@ -329,6 +368,14 @@ def main(argv=None) -> int:
         with open(args.csv, "w") as handle:
             handle.write(suite.to_csv())
         print("wrote %s" % args.csv)
+    if args.metrics_out:
+        payload = {
+            "metrics": suite.merged_metrics(),
+            "profile": obs.session_profile(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("wrote %s" % args.metrics_out)
     return 1 if suite.failures else 0
 
 

@@ -7,7 +7,9 @@ trace scales.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +20,69 @@ from repro.config import (
     MSHRConfig,
     ProcessorConfig,
 )
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from current outputs",
+    )
+
+
+def _assert_matches(actual, expected, path=""):
+    """Recursive structural compare; floats via pytest.approx."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), "%s: expected dict" % path
+        assert sorted(actual) == sorted(expected), (
+            "%s: key mismatch %s != %s"
+            % (path, sorted(actual), sorted(expected))
+        )
+        for key in expected:
+            _assert_matches(actual[key], expected[key], "%s.%s" % (path, key))
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), "%s: expected list" % path
+        assert len(actual) == len(expected), "%s: length mismatch" % path
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, "%s[%d]" % (path, index))
+    elif isinstance(expected, float) or isinstance(actual, float):
+        assert actual == pytest.approx(expected, rel=1e-6), (
+            "%s: %r != %r" % (path, actual, expected)
+        )
+    else:
+        assert actual == expected, "%s: %r != %r" % (path, actual, expected)
+
+
+@pytest.fixture
+def golden_check(request):
+    """Compare a JSON-safe payload against ``tests/golden/<name>.json``.
+
+    ``pytest --update-golden`` rewrites the snapshot instead of
+    comparing, so intentional behavior changes regenerate fixtures in
+    one command.
+    """
+
+    def check(name: str, payload) -> None:
+        path = GOLDEN_DIR / ("%s.json" % name)
+        # Round-trip through JSON so the comparison sees exactly what a
+        # fresh checkout would load (tuples -> lists, int keys -> str).
+        payload = json.loads(json.dumps(payload, sort_keys=True))
+        if request.config.getoption("--update-golden"):
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            pytest.skip("updated golden snapshot %s" % path.name)
+        if not path.exists():
+            pytest.fail(
+                "missing golden snapshot %s — run pytest --update-golden"
+                % path
+            )
+        expected = json.loads(path.read_text())
+        _assert_matches(payload, expected)
+
+    return check
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,155 @@
+"""Differential tests: policies that must be behaviorally identical.
+
+Two families of equivalences the paper's constructions imply:
+
+* **LIN with lambda = 0 is LRU** (Equation 2 degenerates to pure
+  recency).  Checked both directly on randomized cache sets and
+  end-to-end: full simulations under ``lin(0)`` and ``lru`` must make
+  bit-identical victim choices on randomized traces, observed through
+  the event trace.
+* **CBS with a saturated PSEL is its winning policy.**  When the
+  selector's MSB cannot flip during a run, every follower set obeys
+  the same fixed policy, so the victim stream matches the standalone
+  policy exactly (saturated high -> ``lin(4)``, low -> ``lru``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.cache.block import BlockState
+from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.cache.sets import CacheSet
+from repro.sbar.cbs import CBSController
+from repro.sim.simulator import Simulator
+from repro.trace.record import LOAD, STORE, Access
+
+
+def random_trace(seed: int, n_accesses: int = 1500, n_blocks: int = 48):
+    """Seeded random access stream with reuse, stores, and bursts."""
+    rng = random.Random(seed)
+    trace = []
+    hot = [rng.randrange(n_blocks) for _ in range(8)]
+    for _ in range(n_accesses):
+        if rng.random() < 0.3:
+            block = rng.choice(hot)
+        else:
+            block = rng.randrange(n_blocks)
+        kind = STORE if rng.random() < 0.15 else LOAD
+        trace.append(Access(64 * block, kind, gap=rng.randrange(6)))
+    return trace
+
+
+def victim_stream(policy, config, trace):
+    """Run ``trace`` and return L2 victim_selected events, policy-less.
+
+    The ``policy`` field is stripped (the two runs carry different
+    names by construction); everything else — order, set, block,
+    cost_q, dirtiness — must match exactly.
+    """
+    sink = obs.MemoryEventTrace()
+    observer = obs.Observer(events=sink)
+    simulator = Simulator(config, policy, observer=observer)
+    result = simulator.run(list(trace))
+    events = [
+        {k: v for k, v in event.items() if k != "policy"}
+        for event in sink.of_type("victim_selected")
+        if event["cache"] == "l2"
+    ]
+    return events, result
+
+
+class TestLinZeroIsLru:
+    def test_choose_victim_identical_on_random_sets(self):
+        """Direct property: LIN(0) scores reduce to recency alone."""
+        rng = random.Random(1234)
+        lin0 = LINPolicy(0)
+        lru = LRUPolicy()
+        for _ in range(300):
+            associativity = rng.choice([2, 4, 8])
+            cache_set = CacheSet(associativity)
+            for block in rng.sample(range(1000), associativity):
+                state = BlockState(block, 0)
+                state.cost_q = rng.randrange(8)
+                cache_set.insert_mru(state)
+            assert lin0.choose_victim(cache_set) == lru.choose_victim(
+                cache_set
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_identical_victim_streams(self, small_machine, seed):
+        trace = random_trace(seed)
+        lin_events, lin_result = victim_stream("lin(0)", small_machine,
+                                               trace)
+        lru_events, lru_result = victim_stream("lru", small_machine, trace)
+        assert lin_events == lru_events
+        assert lin_events, "trace produced no L2 evictions"
+        assert lin_result.demand_misses == lru_result.demand_misses
+        assert lin_result.cycles == lru_result.cycles
+        assert lin_result.ipc == lru_result.ipc
+
+    def test_lin_four_actually_diverges(self, small_machine):
+        """Sanity: the comparison has teeth — lambda=4 differs."""
+        for seed in range(5):
+            trace = random_trace(seed)
+            lin_events, _ = victim_stream("lin(4)", small_machine, trace)
+            lru_events, _ = victim_stream("lru", small_machine, trace)
+            if lin_events != lru_events:
+                return
+        pytest.fail("lin(4) never diverged from lru on any seed")
+
+
+def saturated_cbs(config, high: bool) -> CBSController:
+    """A CBS controller whose PSEL MSB cannot flip during a short run.
+
+    With 20 selector bits the MSB threshold sits at 2**19; pinning the
+    counter to the saturation rail leaves ~5 * 10**5 of slack, orders
+    of magnitude more than a few thousand accesses can move it (each
+    divergence shifts at most cost_q <= 7).
+    """
+    controller = CBSController(
+        n_sets=config.l2.n_sets,
+        associativity=config.l2.associativity,
+        lam=4,
+        scope="global",
+        psel_bits=20,
+    )
+    psel = controller.psel_for_set(0)
+    psel.value = psel.max_value if high else 0
+    return controller
+
+
+class TestSaturatedCbsMatchesWinner:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_saturated_high_is_lin(self, small_machine, seed):
+        trace = random_trace(seed)
+        cbs_events, cbs_result = victim_stream(
+            saturated_cbs(small_machine, high=True), small_machine, trace
+        )
+        lin_events, lin_result = victim_stream("lin(4)", small_machine,
+                                               trace)
+        assert cbs_events == lin_events
+        assert cbs_events, "trace produced no L2 evictions"
+        assert cbs_result.demand_misses == lin_result.demand_misses
+        assert cbs_result.cycles == lin_result.cycles
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_saturated_low_is_lru(self, small_machine, seed):
+        trace = random_trace(seed)
+        cbs_events, cbs_result = victim_stream(
+            saturated_cbs(small_machine, high=False), small_machine, trace
+        )
+        lru_events, lru_result = victim_stream("lru", small_machine, trace)
+        assert cbs_events == lru_events
+        assert cbs_result.demand_misses == lru_result.demand_misses
+        assert cbs_result.cycles == lru_result.cycles
+
+    def test_msb_never_flipped(self, small_machine):
+        """The saturation premise itself: the MSB holds for the run."""
+        for high in (True, False):
+            controller = saturated_cbs(small_machine, high=high)
+            Simulator(small_machine, controller).run(random_trace(7))
+            assert controller.psel_for_set(0).msb is high

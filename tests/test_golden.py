@@ -1,0 +1,60 @@
+"""Golden-stats regression tests against committed JSON snapshots.
+
+Tiny-configuration runs of the ``figure1`` and ``sensitivity``
+experiments are compared against ``tests/golden/*.json``.  The
+simulator is deterministic (seeded synthetic workloads, pure-Python
+float arithmetic), so any drift here is a behavior change — either a
+bug or an intentional change, in which case regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import MSHRConfig, scaled_config
+from repro.experiments import figure1, sensitivity
+
+#: Small but non-trivial: enough accesses for misses to overlap.
+SCALE = 0.05
+
+
+class TestFigure1Golden:
+    def test_per_iteration_stats(self, golden_check):
+        payload = {}
+        for policy in ("belady", "mlp-aware (lin)", "lru"):
+            misses, stalls = figure1.simulate_policy(policy)
+            payload[policy] = {"misses": misses, "stalls": stalls}
+        golden_check("figure1", payload)
+
+    def test_paper_ordering_holds(self):
+        """Independent of exact numbers: the paper's Figure 1 ranking."""
+        belady = figure1.simulate_policy("belady")
+        lin = figure1.simulate_policy("mlp-aware (lin)")
+        lru = figure1.simulate_policy("lru")
+        assert belady[0] < lin[0] <= lru[0]  # OPT minimizes misses
+        assert lin[1] < lru[1]  # LIN takes fewer long stalls than LRU
+        assert lin[1] < belady[1]  # ... and than OPT
+
+
+class TestSensitivityGolden:
+    def test_l2_capacity_sweep(self, golden_check):
+        payload = {
+            "%dkb" % l2_kb: sensitivity._gain(
+                scaled_config(l2_kb), "mcf", SCALE
+            )
+            for l2_kb in (64, 256)
+        }
+        golden_check("sensitivity_l2", payload)
+
+    def test_mshr_sweep(self, golden_check):
+        payload = {}
+        for entries in (2, 32):
+            config = replace(
+                scaled_config(256), mshr=MSHRConfig(n_entries=entries)
+            )
+            payload["mshr%d" % entries] = sensitivity._gain(
+                config, "art", SCALE
+            )
+        golden_check("sensitivity_mshr", payload)

@@ -1,0 +1,439 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the three channels in isolation — metrics arithmetic and merge
+semantics, event-trace sinks, profiling spans — plus the environment
+configuration surface and the zero-cost-when-disabled guarantee the
+simulator's hot paths rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.events import EventTrace, MemoryEventTrace, read_events
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _label_key,
+    merge_snapshots,
+)
+from repro.obs.profile import Profiler
+from repro.sim.simulator import Simulator
+from repro.trace.record import LOAD, Access
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with all channels disabled."""
+    obs.configure(metrics=False, trace_events=None, profile=False,
+                  verbose=False)
+    obs.reset_session()
+    yield
+    obs.configure(metrics=False, trace_events=None, profile=False,
+                  verbose=False)
+    obs.reset_session()
+
+
+class TestLabels:
+    def test_empty(self):
+        assert _label_key({}) == ""
+
+    def test_sorted(self):
+        assert _label_key({"b": 2, "a": 1}) == "a=1,b=2"
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+
+    def test_labels_are_independent(self):
+        counter = Counter("hits")
+        counter.inc(cache="l1")
+        counter.inc(2, cache="l2")
+        assert counter.value(cache="l1") == 1
+        assert counter.value(cache="l2") == 2
+        assert counter.value(cache="l3") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_max_fold(self):
+        gauge = Gauge("peak", agg="max")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(5)
+        assert gauge.value() == 7
+
+    def test_min_and_sum(self):
+        low = Gauge("low", agg="min")
+        low.set(3)
+        low.set(1)
+        assert low.value() == 1
+        total = Gauge("total", agg="sum")
+        total.set(3)
+        total.set(4)
+        assert total.value() == 7
+
+    def test_unset_is_none(self):
+        assert Gauge("peak").value() is None
+
+    def test_bad_agg(self):
+        with pytest.raises(ValueError):
+            Gauge("g", agg="avg")
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive(self):
+        hist = Histogram("h", [1, 4, 8])
+        for value in (0, 1, 2, 4, 5, 8, 9):
+            hist.observe(value)
+        # <=1: {0,1}; <=4: {2,4}; <=8: {5,8}; overflow: {9}
+        assert hist.counts() == [2, 2, 2, 1]
+
+    def test_labelled(self):
+        hist = Histogram("h", [10])
+        hist.observe(5, kind="a")
+        hist.observe(50, kind="b")
+        assert hist.counts(kind="a") == [1, 0]
+        assert hist.counts(kind="b") == [0, 1]
+        assert hist.counts(kind="c") == [0, 0]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [4, 1])
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_snapshot_shape_and_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc(2, cache="l2")
+        registry.gauge("peak").set(9)
+        registry.histogram("occ", [1, 2]).observe(2)
+        registry.counter("silent")  # no values -> omitted
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["counters"]["a"] == {"cache=l2": 2}
+        assert snapshot["gauges"]["peak"] == {"agg": "max", "values": {"": 9}}
+        assert snapshot["histograms"]["occ"] == {
+            "bounds": [1, 2],
+            "values": {"": [0, 1, 0]},
+        }
+        assert "silent" not in snapshot["counters"]
+        json.dumps(snapshot)  # JSON-safe
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("c").inc(5, cache="l2")
+            registry.counter("c").inc(1, cache="l1")
+            registry.gauge("g").set(3)
+            return registry.snapshot()
+
+        assert json.dumps(build()) == json.dumps(build())
+
+
+class TestMergeSnapshots:
+    def _snapshot(self, count, peak, buckets):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(count)
+        registry.gauge("g").set(peak)
+        hist = registry.histogram("h", [1, 2])
+        for value in buckets:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_counters_sum_gauges_fold_histograms_add(self):
+        merged = merge_snapshots(
+            [self._snapshot(2, 5, [0]), self._snapshot(3, 9, [2, 3])]
+        )
+        assert merged["counters"]["c"] == {"": 5}
+        assert merged["gauges"]["g"]["values"] == {"": 9}
+        assert merged["histograms"]["h"]["values"] == {"": [1, 1, 1]}
+
+    def test_order_independent(self):
+        parts = [
+            self._snapshot(2, 5, [0]),
+            self._snapshot(3, 9, [2]),
+            self._snapshot(7, 1, [3]),
+        ]
+        forward = json.dumps(merge_snapshots(parts))
+        backward = json.dumps(merge_snapshots(list(reversed(parts))))
+        assert forward == backward
+
+    def test_conflicting_bounds_rejected(self):
+        left = MetricsRegistry()
+        left.histogram("h", [1]).observe(0)
+        right = MetricsRegistry()
+        right.histogram("h", [2]).observe(0)
+        with pytest.raises(ValueError):
+            merge_snapshots([left.snapshot(), right.snapshot()])
+
+    def test_empty(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestEventTrace:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        trace = EventTrace(path)
+        trace.emit("miss_start", block=1, issue=2.0)
+        trace.emit("miss_finish", block=1, cost=3.5)
+        trace.flush()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["miss_start", "miss_finish"]
+        assert events[0]["block"] == 1
+        assert events[1]["cost"] == 3.5
+        assert trace.emitted == 2
+        trace.close()
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        EventTrace(str(path))
+        assert not path.exists()
+
+    def test_foreign_pid_gets_suffixed_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        # Pretend the configuring process was someone else: this
+        # process must behave like a pool worker and take its own file.
+        trace = EventTrace(path, origin_pid=os.getpid() + 1)
+        trace.emit("x")
+        trace.flush()
+        worker_path = "%s.%d" % (path, os.getpid())
+        assert os.path.exists(worker_path)
+        assert not os.path.exists(path)
+        assert read_events(worker_path)[0]["event"] == "x"
+        trace.close()
+
+    def test_memory_sink(self):
+        sink = MemoryEventTrace()
+        sink.emit("a", x=1)
+        sink.emit("b")
+        sink.emit("a", x=2)
+        assert [e["x"] for e in sink.of_type("a")] == [1, 2]
+
+
+class TestProfiler:
+    def test_span_accumulates(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.span("work"):
+                pass
+        summary = profiler.summary()
+        assert summary["work"]["count"] == 3
+        assert summary["work"]["seconds"] >= 0
+
+    def test_merge(self):
+        left = Profiler()
+        left.add("a", 1.0, 2)
+        right = Profiler()
+        right.add("a", 0.5, 1)
+        right.add("b", 2.0, 4)
+        left.merge(right)
+        summary = left.summary()
+        assert summary["a"] == {"seconds": 1.5, "count": 3}
+        assert summary["b"] == {"seconds": 2.0, "count": 4}
+
+    def test_report_lines_slowest_first(self):
+        profiler = Profiler()
+        profiler.add("fast", 0.1)
+        profiler.add("slow", 9.0)
+        lines = profiler.report_lines()
+        assert "slow" in lines[0] and "fast" in lines[1]
+
+
+class TestConfiguration:
+    def test_defaults_off(self):
+        assert not obs.enabled()
+        assert obs.default_observer() is None
+
+    def test_configure_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(metrics=True, profile=True, trace_events=path)
+        assert obs.metrics_enabled()
+        assert obs.profiling_enabled()
+        assert obs.trace_events_path() == path
+        observer = obs.default_observer()
+        assert observer.registry is not None
+        assert observer.profiler is not None
+        assert observer.events is not None
+        obs.configure(metrics=False, profile=False, trace_events=None)
+        assert not obs.enabled()
+
+    def test_partial_configure_leaves_others(self):
+        obs.configure(metrics=True)
+        obs.configure(profile=True)
+        assert obs.metrics_enabled() and obs.profiling_enabled()
+
+
+def _tiny_trace(n=64):
+    return [Access(64 * (i % 16), LOAD, gap=2) for i in range(n)]
+
+
+class TestZeroCostWhenDisabled:
+    def test_no_observer_objects_installed(self, small_machine):
+        """Disabled telemetry leaves every hook slot None — the hot
+        paths then cost exactly one ``is not None`` test."""
+        simulator = Simulator(small_machine, "sbar")
+        assert simulator._obs is None
+        for component in (
+            simulator.l1i, simulator.l1d, simulator.l2,
+            simulator.mshr, simulator.memory,
+        ):
+            assert component.observer is None
+        assert simulator.controller.psel.observer is None
+
+    def test_disabled_run_has_no_metrics(self, small_machine):
+        result = Simulator(small_machine, "lru").run(_tiny_trace())
+        assert result.metrics is None
+        assert obs.session_snapshot() is None
+
+    def test_perf_smoke(self, small_machine):
+        """Loose wall-time bound: the disabled path must not be
+        dramatically slower than the fully instrumented one (they
+        simulate identical work, so parity-or-better is expected)."""
+        trace = _tiny_trace(2000)
+
+        def run_disabled():
+            start = time.perf_counter()
+            Simulator(small_machine, "lru").run(list(trace))
+            return time.perf_counter() - start
+
+        def run_enabled():
+            observer = obs.Observer(
+                registry=MetricsRegistry(),
+                events=MemoryEventTrace(),
+                profiler=Profiler(),
+            )
+            start = time.perf_counter()
+            Simulator(small_machine, "lru", observer=observer).run(
+                list(trace)
+            )
+            return time.perf_counter() - start
+
+        run_disabled(), run_enabled()  # warm caches / JIT-less but fair
+        disabled = min(run_disabled() for _ in range(3))
+        enabled = min(run_enabled() for _ in range(3))
+        # Generous 2x bound: we only guard against the disabled path
+        # accidentally paying for telemetry, not against timer noise.
+        assert disabled < enabled * 2.0 + 0.05
+
+
+class TestObserverWiring:
+    def test_explicit_observer_collects_everything(self, small_machine):
+        sink = MemoryEventTrace()
+        observer = obs.Observer(
+            registry=MetricsRegistry(), events=sink, profiler=Profiler()
+        )
+        trace = [Access(64 * i, LOAD, gap=1) for i in range(64)]
+        result = Simulator(small_machine, "lru", observer=observer).run(
+            trace
+        )
+        assert result.metrics is not None
+        counters = result.metrics["counters"]
+        assert counters["sim.runs"][""] == 1
+        assert counters["cache.misses"]["cache=l2"] > 0
+        assert counters["cache.evictions"]["cache=l2"] > 0
+        assert "mshr.occupancy" in result.metrics["histograms"]
+        assert sink.of_type("miss_start")
+        assert sink.of_type("miss_finish")
+        assert sink.of_type("cost_quantized")
+        assert sink.of_type("victim_selected")
+        assert sink.of_type("run_finished")
+        spans = observer.profiler.summary()
+        assert "sim.replay" in spans
+        assert "cache.lookup" in spans
+        assert "cache.replacement" in spans
+
+    def test_victim_event_fields(self, small_machine):
+        sink = MemoryEventTrace()
+        observer = obs.Observer(events=sink)
+        trace = [Access(64 * i, LOAD, gap=1) for i in range(64)]
+        Simulator(small_machine, "lru", observer=observer).run(trace)
+        event = sink.of_type("victim_selected")[0]
+        assert set(event) >= {
+            "cache", "set", "block", "cost_q", "dirty", "policy"
+        }
+        assert "ways" not in event  # verbose off
+
+    def test_verbose_victim_events_carry_set_contents(self, small_machine):
+        sink = MemoryEventTrace()
+        observer = obs.Observer(events=sink, verbose=True)
+        trace = [Access(64 * i, LOAD, gap=1) for i in range(64)]
+        Simulator(small_machine, "lru", observer=observer).run(trace)
+        # The snapshot is taken after the victim left, before the fill;
+        # pick an L2 event (4 ways) so the remaining set is non-empty.
+        event = [
+            e for e in sink.of_type("victim_selected") if e["cache"] == "l2"
+        ][0]
+        assert isinstance(event["ways"], list)
+        assert {"block", "cost_q", "dirty"} <= set(event["ways"][0])
+
+    def test_psel_wiring_under_sbar(self, small_machine):
+        """The simulator labels the SBAR PSEL and installs the sink."""
+        sink = MemoryEventTrace()
+        observer = obs.Observer(registry=MetricsRegistry(), events=sink)
+        simulator = Simulator(small_machine, "sbar", observer=observer)
+        psel = simulator.controller.psel
+        assert psel.observer is observer
+        psel.increment(2)
+        psel.decrement(1)
+        updates = sink.of_type("psel_update")
+        assert [(e["psel"], e["direction"]) for e in updates] == [
+            ("sbar", "inc"), ("sbar", "dec")
+        ]
+        # The counter tallies update events, not counter movement.
+        moves = observer.registry.counter("sbar.psel_updates")
+        assert moves.value(direction="inc", psel="sbar") == 1
+        assert moves.value(direction="dec", psel="sbar") == 1
+
+    def test_session_accumulates_across_runs(self, small_machine):
+        for _ in range(2):
+            observer = obs.Observer(registry=MetricsRegistry())
+            Simulator(small_machine, "lru", observer=observer).run(
+                _tiny_trace()
+            )
+        session = obs.session_snapshot()
+        assert session["counters"]["sim.runs"][""] == 2
+
+
+class TestCliMetricsOut:
+    def test_sim_cli_writes_metrics_json(self, tmp_path, capsys):
+        from repro.sim.__main__ import main
+
+        metrics_path = tmp_path / "metrics.json"
+        events_path = tmp_path / "events.jsonl"
+        code = main([
+            "--benchmark", "mcf", "--scale", "0.02",
+            "--metrics-out", str(metrics_path),
+            "--trace-events", str(events_path),
+        ])
+        assert code == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["metrics"]["counters"]["sim.runs"][""] == 1
+        assert "sim.replay" in payload["profile"]
+        assert read_events(str(events_path))
