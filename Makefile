@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench suite experiments experiments-fast examples lint clean
+.PHONY: install test bench bench-quick bench-pytest suite experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,7 +10,15 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Kernel performance report (micro + macro benchmarks) -> BENCH_local.json.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --out BENCH_local.json
+
+# Smoke-sized bench run (what CI executes); timings are meaningless.
+bench-quick:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_smoke.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick 2-worker smoke matrix (also run by CI).

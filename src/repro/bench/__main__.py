@@ -1,0 +1,78 @@
+"""CLI: ``python -m repro.bench [--out BENCH_<tag>.json]``.
+
+Runs the micro- and macro-benchmarks and writes a schema-validated
+report (see :mod:`repro.bench.report`).  ``--quick`` runs a smoke-sized
+variant for CI; its timings are meaningless but the report shape and
+the embedded simulation results are still checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.macro import run_macro
+from repro.bench.micro import run_micro
+from repro.bench.report import build_report, validate_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure simulation-kernel performance and write a "
+        "BENCH_<tag>.json report.",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_<tag>.json)",
+    )
+    parser.add_argument(
+        "--tag", default="local",
+        help="report tag recorded in the file (default: local)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="macro-benchmark trace scale (default: 0.5)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="timed repetitions per macro cell, best-of (default: 2)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: tiny traces, single repetition (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    print("running micro-benchmarks%s..." % (" (quick)" if args.quick else ""))
+    micro = run_micro(quick=args.quick)
+    for entry in micro:
+        print("  %-14s %10.0f ops/s" % (entry["name"], entry["ops_per_sec"]))
+
+    print("running macro-benchmarks%s..." % (" (quick)" if args.quick else ""))
+    macro = run_macro(
+        scale=args.scale, repeat=args.repeat, quick=args.quick
+    )
+    for entry in macro:
+        print(
+            "  %-4s/%-7s %8.0f accesses/s  (%.3fs, %d L2 misses)"
+            % (entry["workload"], entry["policy"],
+               entry["accesses_per_sec"], entry["seconds"],
+               entry["result"]["l2_misses"])
+        )
+
+    report = build_report(micro, macro, tag=args.tag)
+    validate_report(report)
+    out = args.out or ("BENCH_%s.json" % args.tag)
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (schema %s, code %s)" % (
+        out, report["schema"], report["code_version"]
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

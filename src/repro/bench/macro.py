@@ -1,0 +1,72 @@
+"""Macro-benchmarks: full-trace simulation runs.
+
+Times complete :class:`repro.sim.simulator.Simulator` runs across the
+figure1/sensitivity workload surrogates and the three policy families
+the experiments sweep most (plain LRU, the paper's LIN, and the SBAR
+dueling controller).  Each entry also embeds the run's key simulation
+results — those are machine-independent, so two reports from different
+hosts must agree on them even though their timings differ; a mismatch
+means the kernel changed behavior, not just speed.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Sequence
+
+from repro.sim.simulator import Simulator
+from repro.workloads import build_trace, experiment_config
+
+#: Workloads × policies timed by ``run_macro`` (and ``make bench``).
+MACRO_WORKLOADS = ("mcf", "art")
+MACRO_POLICIES = ("lru", "lin(4)", "sbar")
+
+
+def run_macro(
+    scale: float = 0.5,
+    repeat: int = 2,
+    quick: bool = False,
+    workloads: Sequence[str] = MACRO_WORKLOADS,
+    policies: Sequence[str] = MACRO_POLICIES,
+) -> List[Dict[str, object]]:
+    """Time full simulation runs; returns one entry per (workload, policy).
+
+    ``quick`` shrinks the traces and skips repetition for smoke tests;
+    otherwise each cell reports best-of-``repeat`` wall time after one
+    untimed warm-up run (first-run interpreter effects dominate
+    otherwise).
+    """
+    if quick:
+        scale = 0.05
+        repeat = 1
+    config = experiment_config()
+    entries: List[Dict[str, object]] = []
+    for workload in workloads:
+        trace = build_trace(workload, scale=scale)
+        accesses = len(trace)
+        for policy in policies:
+            if not quick:
+                Simulator(config, policy).run(trace)
+            best = float("inf")
+            result = None
+            for _ in range(repeat):
+                sim = Simulator(config, policy)
+                start = perf_counter()
+                run_result = sim.run(trace)
+                elapsed = perf_counter() - start
+                if elapsed < best:
+                    best = elapsed
+                    result = run_result
+            entries.append({
+                "workload": workload,
+                "policy": policy,
+                "accesses": accesses,
+                "seconds": best,
+                "accesses_per_sec": accesses / best,
+                "result": {
+                    "l2_misses": result.l2_misses,
+                    "cycles": result.cycles,
+                    "demand_misses": result.demand_misses,
+                },
+            })
+    return entries

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the three hot simulation kernels.
+
+Each benchmark drives one kernel in isolation with a deterministic
+synthetic workload (a fixed linear-congruential address stream, so
+every run measures the same work) and reports best-of-``repeat``
+wall time.  These are trend indicators for the optimization passes —
+the macro benchmarks in :mod:`repro.bench.macro` are the numbers that
+matter for end-to-end throughput.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List
+
+from repro.cache.block import BlockState
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.lin import LINPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.sets import CacheSet
+from repro.config import CacheGeometry
+from repro.mlp.mshr import MSHRFile
+
+#: LCG constants (numerical recipes); any full-period generator works,
+#: the stream just has to be deterministic and set-spreading.
+_LCG_A = 1664525
+_LCG_C = 1013904223
+_LCG_MASK = (1 << 32) - 1
+
+
+def _addresses(n: int, span: int) -> List[int]:
+    """``n`` deterministic pseudo-random block numbers in ``[0, span)``."""
+    value = 12345
+    out = []
+    for _ in range(n):
+        value = (_LCG_A * value + _LCG_C) & _LCG_MASK
+        out.append(value % span)
+    return out
+
+
+def bench_cache_access(
+    n: int = 200_000, repeat: int = 3
+) -> Dict[str, object]:
+    """Time ``SetAssociativeCache.access`` on a mixed hit/miss stream."""
+    blocks = _addresses(n, span=4096)
+    best = float("inf")
+    for _ in range(repeat):
+        cache = SetAssociativeCache(
+            CacheGeometry(64 * 1024, 64, 8, 2), LRUPolicy()
+        )
+        access = cache.access
+        start = perf_counter()
+        for block in blocks:
+            access(block)
+        best = min(best, perf_counter() - start)
+    return {"name": "cache_access", "ops": n, "seconds": best,
+            "ops_per_sec": n / best}
+
+
+def bench_mshr_sweep(n: int = 100_000, repeat: int = 3) -> Dict[str, object]:
+    """Time the Algorithm 1 cost sweep: allocate + advance per miss."""
+    blocks = _addresses(n, span=1 << 20)
+    best = float("inf")
+    for _ in range(repeat):
+        mshr = MSHRFile(n_entries=32)
+        start = perf_counter()
+        when = 0.0
+        for index, block in enumerate(blocks):
+            when += 7.0
+            issue = mshr.admission_time(when)
+            if issue < mshr.sweep_time:
+                issue = mshr.sweep_time
+            mshr.allocate(block + (index << 24), issue, issue + 400.0)
+        mshr.drain()
+        best = min(best, perf_counter() - start)
+    return {"name": "mshr_sweep", "ops": n, "seconds": best,
+            "ops_per_sec": n / best}
+
+
+def bench_lin_victim(n: int = 100_000, repeat: int = 3) -> Dict[str, object]:
+    """Time LIN's Equation 2 argmin over a full 16-way set."""
+    policy = LINPolicy(4)
+    cache_set = CacheSet(16)
+    costs = _addresses(16, span=8)
+    for way, cost_q in enumerate(costs):
+        state = BlockState(way, way)
+        state.cost_q = cost_q
+        cache_set.insert_lru(state)
+    choose = policy.choose_victim
+    best = float("inf")
+    for _ in range(repeat):
+        start = perf_counter()
+        for _ in range(n):
+            choose(cache_set)
+        best = min(best, perf_counter() - start)
+    return {"name": "lin_victim", "ops": n, "seconds": best,
+            "ops_per_sec": n / best}
+
+
+def run_micro(quick: bool = False) -> List[Dict[str, object]]:
+    """Run every micro-benchmark; ``quick`` shrinks them for smoke tests."""
+    if quick:
+        return [
+            bench_cache_access(n=5_000, repeat=1),
+            bench_mshr_sweep(n=2_000, repeat=1),
+            bench_lin_victim(n=5_000, repeat=1),
+        ]
+    return [bench_cache_access(), bench_mshr_sweep(), bench_lin_victim()]

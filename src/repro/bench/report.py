@@ -1,0 +1,141 @@
+"""Benchmark report schema, machine fingerprint, and validation.
+
+A report is a plain JSON-safe dict:
+
+.. code-block:: text
+
+    {
+      "schema": "repro.bench/v1",
+      "tag": "pr3",
+      "created_unix": 1754400000.0,
+      "machine": {"platform": ..., "python": ..., "cpus": ...},
+      "code_version": "<git commit or 'unknown'>",
+      "micro": [{"name", "ops", "seconds", "ops_per_sec"}, ...],
+      "macro": [{"workload", "policy", "accesses", "seconds",
+                 "accesses_per_sec", "result": {"l2_misses", "cycles",
+                 "demand_misses"}}, ...]
+    }
+
+``validate_report`` is the single source of truth for that shape; the
+CI perf-smoke job and the bench CLI both call it, so a report that
+lands in the repo is guaranteed parseable by future tooling.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+#: Current report schema identifier; bump the suffix on breaking shape
+#: changes so old reports stay recognizable.
+SCHEMA = "repro.bench/v1"
+
+_MICRO_FIELDS = {"name": str, "ops": int, "seconds": float,
+                 "ops_per_sec": float}
+_MACRO_FIELDS = {"workload": str, "policy": str, "accesses": int,
+                 "seconds": float, "accesses_per_sec": float,
+                 "result": dict}
+_RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int}
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Describe the host well enough to judge report comparability."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": "%s %s" % (
+            platform.python_implementation(), platform.python_version()
+        ),
+        "cpus": os.cpu_count() or 0,
+    }
+
+
+def code_version() -> str:
+    """Current git commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def build_report(
+    micro: List[Dict[str, object]],
+    macro: List[Dict[str, object]],
+    tag: str = "local",
+    created_unix: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble and validate a full benchmark report."""
+    report = {
+        "schema": SCHEMA,
+        "tag": tag,
+        "created_unix": (
+            time.time() if created_unix is None else float(created_unix)
+        ),
+        "machine": machine_fingerprint(),
+        "code_version": code_version(),
+        "micro": micro,
+        "macro": macro,
+    }
+    validate_report(report)
+    return report
+
+
+def _check_fields(entry: object, spec: Dict[str, type], where: str) -> None:
+    if not isinstance(entry, dict):
+        raise ValueError("%s: expected an object, got %r" % (where, entry))
+    for field, expected in spec.items():
+        if field not in entry:
+            raise ValueError("%s: missing field %r" % (where, field))
+        value = entry[field]
+        # Accept ints where floats are declared (JSON round-trips may
+        # narrow whole floats), never the reverse.
+        if expected is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    "%s: field %r must be a number, got %r"
+                    % (where, field, value)
+                )
+        elif not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise ValueError(
+                "%s: field %r must be %s, got %r"
+                % (where, field, expected.__name__, value)
+            )
+
+
+def validate_report(report: object) -> None:
+    """Raise ``ValueError`` when ``report`` violates the v1 schema."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be an object, got %r" % (report,))
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            "unknown schema %r (expected %r)" % (report.get("schema"), SCHEMA)
+        )
+    for field, expected in (
+        ("tag", str), ("created_unix", float), ("machine", dict),
+        ("code_version", str), ("micro", list), ("macro", list),
+    ):
+        _check_fields(report, {field: expected}, "report")
+    for index, entry in enumerate(report["micro"]):
+        where = "micro[%d]" % index
+        _check_fields(entry, _MICRO_FIELDS, where)
+        if entry["seconds"] <= 0 or entry["ops_per_sec"] <= 0:
+            raise ValueError("%s: timings must be positive" % where)
+    for index, entry in enumerate(report["macro"]):
+        where = "macro[%d]" % index
+        _check_fields(entry, _MACRO_FIELDS, where)
+        if entry["seconds"] <= 0 or entry["accesses_per_sec"] <= 0:
+            raise ValueError("%s: timings must be positive" % where)
+        _check_fields(entry["result"], _RESULT_FIELDS, where + ".result")

@@ -80,6 +80,7 @@ class SetAssociativeCache:
         self.label = label
         self.observer = None
         self.n_sets = geometry.n_sets
+        self.hit_latency = geometry.hit_latency
         self._sets: List[CacheSet] = [
             CacheSet(geometry.associativity) for _ in range(self.n_sets)
         ]
@@ -101,47 +102,141 @@ class SetAssociativeCache:
 
     def contains(self, block: int) -> bool:
         """Non-destructive residency probe (no recency update)."""
-        return self._sets[self.set_index(block)].find(block) >= 0
+        return block in self._sets[block % self.n_sets]._index
+
+    def try_hit(self, block: int, is_write: bool = False) -> bool:
+        """Fast-path probe: complete the access if it is a hit.
+
+        On a hit with a plain recency policy (no selector, no overridden
+        ``note_access``/``on_hit``) and no observer installed, this
+        applies exactly the side effects :meth:`access` would (sequence
+        number, counters, move-to-MRU, dirty bit) without building an
+        :class:`AccessResult`, and returns True.  In every other case —
+        including a plain miss — it returns False *without side effects*
+        and the caller must fall back to :meth:`access`.
+        """
+        if not self.is_plain():
+            return False
+        return self.hit_fast(block, is_write)
+
+    def is_plain(self) -> bool:
+        """Whether the fast-path protocol (:meth:`hit_fast` /
+        :meth:`miss_fill`) is currently equivalent to :meth:`access`:
+        no observer, no per-set policy override, no instance-level
+        ``access`` wrapper (instrumentation such as
+        ``repro.analysis.attach_classifier`` patches it), and a policy
+        that keeps the default ``note_access``/``on_hit`` hooks."""
+        policy = self.policy
+        return (
+            self.observer is None
+            and self.policy_selector is None
+            and "access" not in self.__dict__
+            and not policy.needs_note_access
+            and policy.default_on_hit
+        )
+
+    def hit_fast(self, block: int, is_write: bool = False) -> bool:
+        """Unguarded hit probe: the caller must have checked
+        :meth:`is_plain` (once per run is enough — the conditions only
+        change when an observer or selector is installed).  Returns
+        False with no side effects on a miss."""
+        cache_set = self._sets[block % self.n_sets]
+        state = cache_set._index.get(block)
+        if state is None:
+            return False
+        self._seq += 1
+        self.accesses += 1
+        self.hits += 1
+        ways = cache_set.ways
+        if ways[0] is not state:
+            ways.remove(state)
+            ways.insert(0, state)
+        if is_write:
+            state.dirty = True
+        return True
+
+    def miss_fill(self, block: int, is_write: bool = False):
+        """Install ``block``, known to be absent (fast path).
+
+        The caller must have checked :meth:`is_plain` and established
+        the miss (a False :meth:`hit_fast`).  Applies exactly the miss
+        side effects of :meth:`access` and returns
+        ``(state, victim, compulsory)`` where ``victim`` is the evicted
+        :class:`BlockState` or None — no :class:`AccessResult` is built.
+        """
+        cache_set = self._sets[block % self.n_sets]
+        policy = self.policy
+        seq = self._seq
+        self._seq = seq + 1
+        self.accesses += 1
+        self.misses += 1
+        state = BlockState(block, seq)
+        ways = cache_set.ways
+        victim = None
+        if len(ways) >= cache_set.associativity:
+            victim = ways.pop(policy.choose_victim(cache_set))
+            del cache_set._index[victim.block]
+            if victim.dirty:
+                self.writebacks += 1
+        if policy.default_on_fill:
+            ways.insert(0, state)
+            cache_set._index[block] = state
+        else:
+            policy.on_fill(cache_set, state)
+        if is_write:
+            state.dirty = True
+        compulsory = False
+        seen = self._seen
+        if seen is not None and block not in seen:
+            seen.add(block)
+            compulsory = True
+            self.compulsory_misses += 1
+        return state, victim, compulsory
 
     def access(self, block: int, is_write: bool = False) -> AccessResult:
         """Look up ``block``; on a miss, install it, evicting if needed."""
-        set_index = self.set_index(block)
+        set_index = block % self.n_sets
         cache_set = self._sets[set_index]
-        policy = (
-            self.policy_selector(set_index)
-            if self.policy_selector is not None
-            else self.policy
-        )
+        selector = self.policy_selector
+        policy = selector(set_index) if selector is not None else self.policy
         seq = self._seq
-        self._seq += 1
+        self._seq = seq + 1
         self.accesses += 1
-        policy.note_access(block, seq)
+        if policy.needs_note_access:
+            policy.note_access(block, seq)
 
         observer = self.observer
         profiler = observer.profiler if observer is not None else None
         if profiler is None:
-            position = cache_set.find(block)
+            state = cache_set._index.get(block)
         else:
             with profiler.span("cache.lookup"):
-                position = cache_set.find(block)
-        if position >= 0:
+                state = cache_set._index.get(block)
+        if state is not None:
             self.hits += 1
-            policy.on_hit(cache_set, position)
-            state = cache_set.get(block)
-            assert state is not None
+            ways = cache_set.ways
+            if policy.default_on_hit:
+                if ways[0] is not state:
+                    ways.remove(state)
+                    ways.insert(0, state)
+            else:
+                policy.on_hit(cache_set, ways.index(state))
             if is_write:
                 state.dirty = True
             return AccessResult(True, state, set_index)
 
         self.misses += 1
-        result = AccessResult(False, BlockState(block, seq), set_index)
-        if cache_set.full:
+        state = BlockState(block, seq)
+        result = AccessResult(False, state, set_index)
+        ways = cache_set.ways
+        if len(ways) >= cache_set.associativity:
             if profiler is None:
                 victim_position = policy.choose_victim(cache_set)
             else:
                 with profiler.span("cache.replacement"):
                     victim_position = policy.choose_victim(cache_set)
-            victim = cache_set.evict(victim_position)
+            victim = ways.pop(victim_position)
+            del cache_set._index[victim.block]
             result.victim_block = victim.block
             result.victim_dirty = victim.dirty
             if victim.dirty:
@@ -150,23 +245,28 @@ class SetAssociativeCache:
                 observer.victim_selected(
                     self.label, set_index, victim, policy.name, cache_set
                 )
-        policy.on_fill(cache_set, result.state)
+        if policy.default_on_fill:
+            ways.insert(0, state)
+            cache_set._index[block] = state
+        else:
+            policy.on_fill(cache_set, state)
         if is_write:
-            result.state.dirty = True
-        if self._seen is not None:
-            if block not in self._seen:
-                self._seen.add(block)
-                result.compulsory = True
-                self.compulsory_misses += 1
+            state.dirty = True
+        seen = self._seen
+        if seen is not None and block not in seen:
+            seen.add(block)
+            result.compulsory = True
+            self.compulsory_misses += 1
         return result
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if resident (inclusion enforcement); no writeback."""
-        cache_set = self._sets[self.set_index(block)]
-        position = cache_set.find(block)
-        if position < 0:
+        cache_set = self._sets[block % self.n_sets]
+        state = cache_set._index.get(block)
+        if state is None:
             return False
-        cache_set.evict(position)
+        cache_set.ways.remove(state)
+        del cache_set._index[block]
         return True
 
     @property

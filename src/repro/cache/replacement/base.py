@@ -22,6 +22,38 @@ class ReplacementPolicy(ABC):
     #: Short name used in reports ("lru", "lin(4)", ...).
     name = "abstract"
 
+    #: Hot-path dispatch flags, recomputed automatically for every
+    #: subclass (do not set by hand): ``needs_note_access`` is True when
+    #: the subclass overrides :meth:`note_access`, letting the cache
+    #: skip a no-op call per access; ``default_on_hit`` is True when
+    #: the subclass keeps the default move-to-MRU :meth:`on_hit`, letting
+    #: the cache call :meth:`CacheSet.touch` directly; ``default_on_fill``
+    #: is True when the subclass keeps the default insert-at-MRU
+    #: :meth:`on_fill`, letting the cache fill inline.
+    needs_note_access = False
+    default_on_hit = True
+    default_on_fill = True
+
+    #: True when :meth:`choose_victim` always returns the LRU tail
+    #: (``len(ways) - 1``), letting the cache's fast path evict with a
+    #: plain ``ways.pop()``.  Declared by the policy that guarantees it
+    #: (LRU); any subclass that overrides :meth:`choose_victim` without
+    #: re-declaring the flag drops back to False automatically.
+    victim_is_lru_tail = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.needs_note_access = (
+            cls.note_access is not ReplacementPolicy.note_access
+        )
+        cls.default_on_hit = cls.on_hit is ReplacementPolicy.on_hit
+        cls.default_on_fill = cls.on_fill is ReplacementPolicy.on_fill
+        if (
+            "choose_victim" in cls.__dict__
+            and "victim_is_lru_tail" not in cls.__dict__
+        ):
+            cls.victim_is_lru_tail = False
+
     def note_access(self, block: int, seq: int) -> None:
         """Observe an access before the lookup happens.
 

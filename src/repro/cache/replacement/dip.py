@@ -40,7 +40,7 @@ class LIPPolicy(ReplacementPolicy):
         return len(cache_set.ways) - 1
 
     def on_fill(self, cache_set: CacheSet, state: BlockState) -> None:
-        cache_set.ways.append(state)
+        cache_set.insert_lru(state)
 
 
 class BIPPolicy(ReplacementPolicy):
@@ -65,7 +65,7 @@ class BIPPolicy(ReplacementPolicy):
         if self._fills % self.period == 0:
             cache_set.insert_mru(state)
         else:
-            cache_set.ways.append(state)
+            cache_set.insert_lru(state)
 
 
 class DIPController:

@@ -25,13 +25,17 @@ class LINPolicy(ReplacementPolicy):
 
     def choose_victim(self, cache_set: CacheSet) -> int:
         lam = self.lam
+        ways = cache_set.ways
+        # R(position) = assoc - 1 - position, inlined: this argmin runs
+        # once per miss and dominates LIN's cost on miss-heavy traces.
+        mru_recency = cache_set.associativity - 1
         best_position = 0
-        best_score = None
-        for position, state in enumerate(cache_set.ways):
-            score = cache_set.recency(position) + lam * state.cost_q
+        best_score = mru_recency + lam * ways[0].cost_q
+        for position in range(1, len(ways)):
+            score = mru_recency - position + lam * ways[position].cost_q
             # "<=" keeps the later (lower-recency) candidate on ties,
             # implementing the paper's tie-break toward small recency.
-            if best_score is None or score <= best_score:
+            if score <= best_score:
                 best_score = score
                 best_position = position
         return best_position

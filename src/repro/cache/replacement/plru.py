@@ -117,11 +117,7 @@ class TreePLRUPolicy(ReplacementPolicy):
         if slot is None:
             # Cold fill: take the next free physical slot.
             slot = len(cache_set.ways)
-            if slot >= cache_set.associativity:
-                raise RuntimeError("fill into a full set without eviction")
-            cache_set.ways.append(state)
-        else:
-            cache_set.ways.insert(slot, state)
+        cache_set.insert_at(slot, state)
         self._tree_for(cache_set).touch(slot)
 
 

@@ -4,11 +4,23 @@ Ways are kept in recency order, MRU first, so the paper's recency value
 ``R(i)`` (highest = MRU, lowest = LRU) of the entry at position ``p`` is
 ``associativity - 1 - p``.  All policies, including LIN, read recency
 straight from this ordering.
+
+Alongside the ordered list the set maintains a block->entry index so
+residency probes (:meth:`find`, :meth:`get`, and the cache's
+``contains``/``invalidate``) cost one dict lookup instead of an
+O(associativity) tag scan.  Mapping blocks to entries rather than to
+positions keeps every mutation O(1): a move-to-MRU or an insertion
+shifts the position of every other way, but their index entries stay
+valid.  **Invariant:** ``_index[state.block] is state`` exactly for the
+entries in ``ways``, kept by routing *every* membership change through
+the methods below (``evict``/``insert_mru``/``insert_lru``/
+``insert_at``).  Policies must never append to or remove from ``ways``
+directly; reading and reordering it (same membership) is fine.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.block import BlockState
 
@@ -16,20 +28,23 @@ from repro.cache.block import BlockState
 class CacheSet:
     """A single set holding up to ``associativity`` blocks, MRU first."""
 
-    __slots__ = ("associativity", "ways")
+    __slots__ = ("associativity", "ways", "_index")
 
     def __init__(self, associativity: int) -> None:
         if associativity < 1:
             raise ValueError("associativity must be positive")
         self.associativity = associativity
         self.ways: List[BlockState] = []
+        self._index: Dict[int, BlockState] = {}
 
     def find(self, block: int) -> int:
         """Position of ``block`` in the set, or -1."""
-        for position, state in enumerate(self.ways):
-            if state.block == block:
-                return position
-        return -1
+        state = self._index.get(block)
+        if state is None:
+            return -1
+        # BlockState defines no __eq__, so list.index compares by
+        # identity in C — cheaper than a Python attribute-scan loop.
+        return self.ways.index(state)
 
     def recency(self, position: int) -> int:
         """The paper's R(i): ``assoc - 1`` for MRU down to 0 for LRU.
@@ -41,8 +56,11 @@ class CacheSet:
 
     def touch(self, position: int) -> BlockState:
         """Move the entry at ``position`` to MRU and return it."""
-        state = self.ways.pop(position)
-        self.ways.insert(0, state)
+        ways = self.ways
+        if position == 0:
+            return ways[0]
+        state = ways.pop(position)
+        ways.insert(0, state)
         return state
 
     @property
@@ -51,13 +69,40 @@ class CacheSet:
 
     def insert_mru(self, state: BlockState) -> None:
         """Insert a freshly filled block at the MRU position."""
-        if self.full:
+        ways = self.ways
+        if len(ways) >= self.associativity:
             raise RuntimeError("insert into a full set without eviction")
-        self.ways.insert(0, state)
+        ways.insert(0, state)
+        self._index[state.block] = state
+
+    def insert_lru(self, state: BlockState) -> None:
+        """Insert a freshly filled block at the LRU position (LIP/BIP)."""
+        ways = self.ways
+        if len(ways) >= self.associativity:
+            raise RuntimeError("insert into a full set without eviction")
+        ways.append(state)
+        self._index[state.block] = state
+
+    def insert_at(self, position: int, state: BlockState) -> None:
+        """Insert a freshly filled block at a fixed position (tree-PLRU).
+
+        Positions at or past the current fill level append (the physical
+        slot of a cold fill).
+        """
+        ways = self.ways
+        if len(ways) >= self.associativity:
+            raise RuntimeError("insert into a full set without eviction")
+        if position >= len(ways):
+            ways.append(state)
+        else:
+            ways.insert(position, state)
+        self._index[state.block] = state
 
     def evict(self, position: int) -> BlockState:
         """Remove and return the entry at ``position``."""
-        return self.ways.pop(position)
+        state = self.ways.pop(position)
+        del self._index[state.block]
+        return state
 
     def snapshot(self) -> List[dict]:
         """JSON-safe view of the set, MRU first (event-trace payloads)."""
@@ -68,10 +113,15 @@ class CacheSet:
         ]
 
     def get(self, block: int) -> Optional[BlockState]:
-        position = self.find(block)
-        if position < 0:
-            return None
-        return self.ways[position]
+        return self._index.get(block)
+
+    def index_coherent(self) -> bool:
+        """Whether the block->entry index matches ``ways`` (tests)."""
+        if len(self._index) != len(self.ways):
+            return False
+        return all(
+            self._index.get(state.block) is state for state in self.ways
+        )
 
     def __len__(self) -> int:
         return len(self.ways)

@@ -62,19 +62,24 @@ class SparseTagDirectory:
         seq = self._seq
         self._seq += 1
         self.accesses += 1
-        self.policy.note_access(block, seq)
+        policy = self.policy
+        if policy.needs_note_access:
+            policy.note_access(block, seq)
         position = cache_set.find(block)
         if position >= 0:
             self.hits += 1
-            self.policy.on_hit(cache_set, position)
-            state = cache_set.get(block)
-            assert state is not None
+            if policy.default_on_hit:
+                state = cache_set.touch(position)
+            else:
+                policy.on_hit(cache_set, position)
+                state = cache_set.get(block)
+                assert state is not None
             return AccessResult(True, state, set_index)
         self.misses += 1
         result = AccessResult(False, BlockState(block, seq), set_index)
         if cache_set.full:
-            victim_position = self.policy.choose_victim(cache_set)
+            victim_position = policy.choose_victim(cache_set)
             victim = cache_set.evict(victim_position)
             result.victim_block = victim.block
-        self.policy.on_fill(cache_set, result.state)
+        policy.on_fill(cache_set, result.state)
         return result

@@ -9,7 +9,7 @@ request completes (queueing delay).
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import List
 
 from repro.config import MemoryConfig
@@ -49,7 +49,7 @@ class MemoryController:
         when = self._admit(when)
         data_ready = self.banks.access(block, when)
         complete = self.bus.transfer(data_ready)
-        heapq.heappush(self._in_flight, complete)
+        heappush(self._in_flight, complete)
         if len(self._in_flight) > self.peak_in_flight:
             self.peak_in_flight = len(self._in_flight)
         self.requests += 1
@@ -65,7 +65,7 @@ class MemoryController:
         # The line crosses the bus to memory first, then updates the bank.
         arrive = self.bus.transfer(when)
         complete = self.banks.access(block, arrive)
-        heapq.heappush(self._in_flight, complete)
+        heappush(self._in_flight, complete)
         if len(self._in_flight) > self.peak_in_flight:
             self.peak_in_flight = len(self._in_flight)
         self.requests += 1
@@ -76,9 +76,9 @@ class MemoryController:
         """Delay ``when`` until an outstanding-request slot is free."""
         in_flight = self._in_flight
         while in_flight and in_flight[0] <= when:
-            heapq.heappop(in_flight)
+            heappop(in_flight)
         while len(in_flight) >= self.max_outstanding:
-            earliest = heapq.heappop(in_flight)
+            earliest = heappop(in_flight)
             if earliest > when:
                 when = earliest
                 self.queueing_stalls += 1

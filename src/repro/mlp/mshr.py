@@ -23,8 +23,8 @@ adder visit (< 0.25 cycles for the paper's four adders — "negligible").
 
 from __future__ import annotations
 
-import heapq
 import math
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 
@@ -89,7 +89,7 @@ class MSHRFile:
         """Number of entries still in flight at time ``when``."""
         heap = self._occupancy_heap
         while heap and heap[0] <= when:
-            heapq.heappop(heap)
+            heappop(heap)
         return len(heap)
 
     def admission_time(self, when: float) -> float:
@@ -99,9 +99,9 @@ class MSHRFile:
         """
         heap = self._occupancy_heap
         while heap and heap[0] <= when:
-            heapq.heappop(heap)
+            heappop(heap)
         while len(heap) >= self.n_entries:
-            earliest = heapq.heappop(heap)
+            earliest = heappop(heap)
             if earliest > when:
                 when = earliest
                 self.full_stalls += 1
@@ -109,11 +109,18 @@ class MSHRFile:
 
     # -- lookup / merge -------------------------------------------------
 
-    def lookup(self, block: int, when: float) -> Optional[float]:
+    def lookup(
+        self, block: int, when: float, count_merge: bool = True
+    ) -> Optional[float]:
         """If ``block`` is in flight at ``when``, return its completion.
 
-        A hit here is a *merge*: the access piggybacks on the existing
-        entry instead of allocating a new one.
+        A hit on the *miss path* is a merge: the access piggybacks on
+        the existing entry instead of allocating a new one, and
+        ``merges`` counts it.  Callers probing completion times without
+        coalescing an allocation — the L2 tag-hit path, where the line
+        is resident but its fill is still outstanding (hit-under-miss)
+        — pass ``count_merge=False`` so the statistic reports only real
+        entry sharing.
         """
         entry = self._in_flight.get(block)
         if entry is None:
@@ -121,7 +128,8 @@ class MSHRFile:
         if entry.complete <= when:
             del self._in_flight[block]
             return None
-        self.merges += 1
+        if count_merge:
+            self.merges += 1
         return entry.complete
 
     def in_flight(self, block: int, when: float) -> bool:
@@ -164,8 +172,8 @@ class MSHRFile:
             entry.accumulator_start = self._accumulator
             self._demand_live += 1
             self._tiebreak += 1
-            heapq.heappush(self._demand_heap, (complete, self._tiebreak, entry))
-        heapq.heappush(self._occupancy_heap, complete)
+            heappush(self._demand_heap, (complete, self._tiebreak, entry))
+        heappush(self._occupancy_heap, complete)
         self._in_flight[block] = entry
         self.allocations += 1
         occupancy = len(self._occupancy_heap)
@@ -182,8 +190,16 @@ class MSHRFile:
         """Advance the cost integral from the current sweep time to ``target``."""
         heap = self._demand_heap
         now = self._now
+        if not heap or heap[0][0] > target:
+            # No completions in the interval: integrate and move on.
+            if target > now:
+                live = self._demand_live
+                if live:
+                    self._accumulator += (target - now) / live
+                self._now = target
+            return
         while heap and heap[0][0] <= target:
-            complete, _, entry = heapq.heappop(heap)
+            complete, _, entry = heappop(heap)
             if complete > now:
                 self._accumulator += (complete - now) / self._demand_live
                 now = complete

@@ -23,21 +23,25 @@ completion times.
 from __future__ import annotations
 
 import warnings
+from heapq import heappop, heappush
 from time import perf_counter
 from typing import Callable, List, Optional, Union
 
 from repro import obs
-from repro.cache.cache import SetAssociativeCache
+from repro.cache.block import BlockState
+from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.cache.replacement import LRUPolicy, ReplacementPolicy
 from repro.cache.replacement.dip import DIPController
 from repro.cache.replacement.registry import parse_policy_spec
 from repro.config import MachineConfig, baseline_config
 from repro.cpu.store_buffer import StoreBuffer
 from repro.cpu.window import WindowModel
+from repro.memory.bus import SplitTransactionBus
 from repro.memory.controller import MemoryController
+from repro.memory.dram import DramBankArray
 from repro.mlp.cost import quantize_cost
-from repro.mlp.delta import DeltaTracker
-from repro.mlp.mshr import MSHRFile
+from repro.mlp.delta import DeltaSummary, DeltaTracker
+from repro.mlp.mshr import MSHRFile, _Entry as MSHREntry
 from repro.sbar.cbs import CBSController
 from repro.sbar.sbar import SBARController
 from repro.sbar.tournament import TournamentController
@@ -88,6 +92,11 @@ class Simulator:
             the machine; defaults to :func:`repro.obs.default_observer`
             (None — and therefore zero overhead — unless telemetry is
             enabled in the environment).
+        track_deltas: feed serviced misses to the Table 1
+            :class:`~repro.mlp.delta.DeltaTracker`.  The tracker keeps
+            the last cost of every distinct block, so its footprint
+            grows with the trace's block working set; pass False on
+            long-running sweeps that never read ``delta_summary``.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class Simulator:
         prefetcher=None,
         warmup_instructions: int = 0,
         observer: Optional[obs.Observer] = None,
+        track_deltas: bool = True,
     ) -> None:
         self.config = config or baseline_config()
         fixed, controller = parse_policy_spec(policy, self.config)
@@ -130,7 +140,9 @@ class Simulator:
         self._obs = observer if observer is not None else obs.default_observer()
         if self._obs is not None:
             self._wire_observer(self._obs)
-        self.delta = DeltaTracker()
+        self.delta: Optional[DeltaTracker] = (
+            DeltaTracker() if track_deltas else None
+        )
         self.cost_distribution = CostDistribution()
         self.phase_interval = phase_interval
         self.phases: List[PhaseSample] = []
@@ -196,12 +208,51 @@ class Simulator:
         return self._finalize(current_phase)
 
     def _replay(self, trace) -> Optional[PhaseSample]:
-        """Drive every access through the machine; returns the open phase."""
+        """Drive every access through the machine; returns the open phase.
+
+        The loop is the simulator's hot path.  When no observer or
+        instance-level ``access`` wrapper is installed the run is
+        delegated to :meth:`_replay_fused`, which flattens the whole
+        demand walk inline; this generic loop keeps every hook live and
+        is the semantic reference the fused path must match bit for
+        bit.
+        """
+        l1d = self.l1d
+        l1i = self.l1i
+        l2 = self.l2
+        mshr = self.mshr
+        memory = self.memory
+        if (
+            self._obs is None
+            and l1d.is_plain()
+            and l1i.is_plain()
+            and l1d.policy.victim_is_lru_tail
+            and l1i.policy.victim_is_lru_tail
+            and l1d._seen is None
+            and l1i._seen is None
+            and l2.observer is None
+            and "access" not in l2.__dict__
+            and mshr.observer is None
+            and memory.observer is None
+            and type(memory.bus) is SplitTransactionBus
+        ):
+            return self._replay_fused(trace)
 
         window = self.window
         controller = self.controller
         block_bits = self.config.block_bits
         phase_interval = self.phase_interval
+        l1d_latency = l1d.hit_latency
+        l1i_latency = l1i.hit_latency
+        store_buffer = self.store_buffer
+        advance = window.advance
+        complete_memory_op = window.complete_memory_op
+        access_hierarchy = self._access_hierarchy
+        l1d_hit = l1d.try_hit
+        l1i_hit = l1i.try_hit
+        warm = self._warm
+        warmup_instructions = self.warmup_instructions
+        bookkeeping = controller is not None or not warm or phase_interval
         current_phase: Optional[PhaseSample] = None
         if phase_interval:
             current_phase = PhaseSample(start_instruction=0, start_cycle=0.0)
@@ -211,7 +262,7 @@ class Simulator:
             if access.wrong_path:
                 # Wrong-path references disturb the caches and memory
                 # timing but never the committed instruction stream.
-                self._access_hierarchy(
+                access_hierarchy(
                     access.address >> block_bits,
                     access.kind,
                     window.now,
@@ -220,37 +271,484 @@ class Simulator:
                 )
                 continue
 
-            dispatch = window.advance(access.gap)
-            instr_index = window.instructions
-            if not self._warm and instr_index >= self.warmup_instructions:
-                self._finish_warmup(instr_index, dispatch)
-            if controller is not None:
-                controller.note_instructions(instr_index)
-            if phase_interval and instr_index // phase_interval != (
-                current_phase.start_instruction // phase_interval
-            ):
-                current_phase.end_instruction = instr_index
-                current_phase.end_cycle = dispatch
-                current_phase = PhaseSample(
-                    start_instruction=instr_index, start_cycle=dispatch
-                )
-                self.phases.append(current_phase)
+            dispatch = advance(access.gap)
+            if bookkeeping:
+                instr_index = window.instructions
+                if not warm and instr_index >= warmup_instructions:
+                    self._finish_warmup(instr_index, dispatch)
+                    warm = True
+                    bookkeeping = controller is not None or phase_interval
+                if controller is not None:
+                    controller.note_instructions(instr_index)
+                if phase_interval and instr_index // phase_interval != (
+                    current_phase.start_instruction // phase_interval
+                ):
+                    current_phase.end_instruction = instr_index
+                    current_phase.end_cycle = dispatch
+                    current_phase = PhaseSample(
+                        start_instruction=instr_index, start_cycle=dispatch
+                    )
+                    self.phases.append(current_phase)
 
-            completion = self._access_hierarchy(
-                access.address >> block_bits,
-                access.kind,
-                dispatch,
-                demand=True,
-                phase=current_phase,
+            kind = access.kind
+            block = access.address >> block_bits
+            if kind == IFETCH:
+                if l1i_hit(block):
+                    complete_memory_op(dispatch + l1i_latency)
+                    continue
+            elif kind == STORE:
+                if l1d_hit(block, True):
+                    admitted = store_buffer.admit(
+                        dispatch, dispatch + l1d_latency
+                    )
+                    if admitted > dispatch:
+                        window.stall_until(admitted)
+                    continue
+            elif l1d_hit(block):
+                complete_memory_op(dispatch + l1d_latency)
+                continue
+
+            completion = access_hierarchy(
+                block, kind, dispatch, demand=True, phase=current_phase
             )
-            if access.kind == STORE:
-                admitted = self.store_buffer.admit(dispatch, completion)
+            if kind == STORE:
+                admitted = store_buffer.admit(dispatch, completion)
                 if admitted > dispatch:
                     window.stall_until(admitted)
             else:
-                window.complete_memory_op(completion)
+                complete_memory_op(completion)
 
         self.mshr.drain()
+        return current_phase
+
+    def _replay_fused(self, trace) -> Optional[PhaseSample]:
+        """One-function replay for the hook-free configuration.
+
+        Flattens the generic loop, :meth:`_access_hierarchy`, and the
+        per-access methods of the cache, MSHR, and memory controller
+        into a single loop with every stable object bound once per run.
+        ``_replay`` only dispatches here when no observer and no
+        instance-level ``access`` wrapper is installed, the L1 policies
+        are plain tail-evicting LRU without compulsory tracking, and
+        the memory bus is the stock split-transaction model; a per-set
+        L2 policy selector, a non-plain L2 policy, and a dueling
+        controller are all handled inline (``observe_access`` never
+        retains its ``mtd_result``, so one scratch
+        :class:`AccessResult` is reused for every call).
+
+        The generic path is the semantic reference: the statement
+        ordering here mirrors it one for one — same MSHR sweep points,
+        same float-accumulation grouping, same counter and observe
+        ordering — and any divergence is a bug.  The fast-path
+        differential tests and the PR 2 golden tests compare the two
+        end to end.  Counters stay object attributes (never hoisted
+        into locals) so the generic helpers that still run inside a
+        fused replay (wrong-path accesses, prefetch fills, L1
+        writebacks) always see coherent state.
+        """
+        window = self.window
+        controller = self.controller
+        block_bits = self.config.block_bits
+        phase_interval = self.phase_interval
+        l1d = self.l1d
+        l1i = self.l1i
+        l2 = self.l2
+        mshr = self.mshr
+        memory = self.memory
+        l1d_sets = l1d._sets
+        l1d_n_sets = l1d.n_sets
+        l1d_assoc = l1d.geometry.associativity
+        l1d_latency = l1d.hit_latency
+        l1i_sets = l1i._sets
+        l1i_n_sets = l1i.n_sets
+        l1i_assoc = l1i.geometry.associativity
+        l1i_latency = l1i.hit_latency
+        l2_sets = l2._sets
+        l2_n_sets = l2.n_sets
+        l2_assoc = l2.geometry.associativity
+        l2_selector = l2.policy_selector
+        l2_policy = l2.policy
+        l2_seen = l2._seen
+        l2_hit_latency = l2.hit_latency
+        mshr_demand_heap = mshr._demand_heap
+        mshr_occ_heap = mshr._occupancy_heap
+        mshr_in_flight = mshr._in_flight
+        mshr_entries = mshr.n_entries
+        mshr_advance = mshr._advance
+        bus = memory.bus
+        bus_occupancy = bus.occupancy
+        bus_transfer_delay = bus.transfer_delay
+        banks = memory.banks
+        banks_access = banks.access
+        plain_banks = type(banks) is DramBankArray
+        if plain_banks:
+            bank_free = banks._bank_free
+            n_banks = banks.n_banks
+            bank_latency = banks.access_latency
+        memory_in_flight = memory._in_flight
+        memory_max = memory.max_outstanding
+        memory_write = memory.write_line
+        l1_writeback = self._l1_writeback
+        access_hierarchy = self._access_hierarchy
+        store_buffer = self.store_buffer
+        store_admit = store_buffer.admit
+        advance = window.advance
+        complete_memory_op = window.complete_memory_op
+        stall_until = window.stall_until
+        dist_record = self.cost_distribution.record
+        delta = self.delta
+        delta_record = delta.record if delta is not None else None
+        prefetcher = self.prefetcher
+        prefetch_block = self._prefetch_block
+        quantize = quantize_cost
+        scratch = (
+            AccessResult(False, None, 0) if controller is not None else None
+        )
+        warm = self._warm
+        warmup_instructions = self.warmup_instructions
+        bookkeeping = controller is not None or not warm or phase_interval
+        current_phase: Optional[PhaseSample] = None
+        if phase_interval:
+            current_phase = PhaseSample(start_instruction=0, start_cycle=0.0)
+            self.phases.append(current_phase)
+
+        for access in trace:
+            if access.wrong_path:
+                # Wrong-path references disturb the caches and memory
+                # timing but never the committed instruction stream.
+                access_hierarchy(
+                    access.address >> block_bits,
+                    access.kind,
+                    window._time,
+                    demand=False,
+                    phase=None,
+                )
+                continue
+
+            dispatch = advance(access.gap)
+            if bookkeeping:
+                instr_index = window._index
+                if not warm and instr_index >= warmup_instructions:
+                    self._finish_warmup(instr_index, dispatch)
+                    warm = True
+                    bookkeeping = controller is not None or phase_interval
+                if controller is not None:
+                    controller.note_instructions(instr_index)
+                if phase_interval and instr_index // phase_interval != (
+                    current_phase.start_instruction // phase_interval
+                ):
+                    current_phase.end_instruction = instr_index
+                    current_phase.end_cycle = dispatch
+                    current_phase = PhaseSample(
+                        start_instruction=instr_index, start_cycle=dispatch
+                    )
+                    self.phases.append(current_phase)
+
+            kind = access.kind
+            block = access.address >> block_bits
+
+            # ---- L1 probe and fill (SetAssociativeCache.hit_fast /
+            # miss_fill for a plain tail-evicting LRU, inlined) ----
+            if kind == IFETCH:
+                cache_set = l1i_sets[block % l1i_n_sets]
+                state = cache_set._index.get(block)
+                if state is not None:
+                    l1i._seq += 1
+                    l1i.accesses += 1
+                    l1i.hits += 1
+                    ways = cache_set.ways
+                    if ways[0] is not state:
+                        ways.remove(state)
+                        ways.insert(0, state)
+                    complete_memory_op(dispatch + l1i_latency)
+                    continue
+                l1 = l1i
+                l1_assoc = l1i_assoc
+                l1_done = dispatch + l1i_latency
+                is_store = False
+            else:
+                cache_set = l1d_sets[block % l1d_n_sets]
+                state = cache_set._index.get(block)
+                is_store = kind == STORE
+                if state is not None:
+                    l1d._seq += 1
+                    l1d.accesses += 1
+                    l1d.hits += 1
+                    ways = cache_set.ways
+                    if ways[0] is not state:
+                        ways.remove(state)
+                        ways.insert(0, state)
+                    if is_store:
+                        state.dirty = True
+                        admitted = store_admit(
+                            dispatch, dispatch + l1d_latency
+                        )
+                        if admitted > dispatch:
+                            stall_until(admitted)
+                    else:
+                        complete_memory_op(dispatch + l1d_latency)
+                    continue
+                l1 = l1d
+                l1_assoc = l1d_assoc
+                l1_done = dispatch + l1d_latency
+
+            # Finalize the cost of every miss serviced before this
+            # access so replacement sees up-to-date cost_q values
+            # (inline MSHRFile._advance fast path; the full sweep runs
+            # only when a completion falls inside the interval).
+            if dispatch > mshr._now:
+                if mshr_demand_heap and mshr_demand_heap[0][0] <= dispatch:
+                    mshr_advance(dispatch)
+                else:
+                    live = mshr._demand_live
+                    if live:
+                        mshr._accumulator += (dispatch - mshr._now) / live
+                    mshr._now = dispatch
+
+            seq = l1._seq
+            l1._seq = seq + 1
+            l1.accesses += 1
+            l1.misses += 1
+            state = BlockState(block, seq)
+            ways = cache_set.ways
+            l1_victim = None
+            if len(ways) >= l1_assoc:
+                l1_victim = ways.pop()
+                del cache_set._index[l1_victim.block]
+                if l1_victim.dirty:
+                    l1.writebacks += 1
+            ways.insert(0, state)
+            cache_set._index[block] = state
+            if is_store:
+                state.dirty = True
+            if l1_victim is not None and l1_victim.dirty:
+                l1_writeback(l1_victim.block, dispatch)
+
+            # ---- L2 lookup (SetAssociativeCache.access minus the
+            # observer/profiler hooks, excluded by the dispatch) ----
+            set_index = block % l2_n_sets
+            cache_set = l2_sets[set_index]
+            policy = (
+                l2_selector(set_index) if l2_selector is not None
+                else l2_policy
+            )
+            seq = l2._seq
+            l2._seq = seq + 1
+            l2.accesses += 1
+            if policy.needs_note_access:
+                policy.note_access(block, seq)
+            state = cache_set._index.get(block)
+            if state is not None:
+                l2.hits += 1
+                ways = cache_set.ways
+                if policy.default_on_hit:
+                    if ways[0] is not state:
+                        ways.remove(state)
+                        ways.insert(0, state)
+                else:
+                    policy.on_hit(cache_set, ways.index(state))
+                if controller is not None:
+                    scratch.hit = True
+                    scratch.state = state
+                    scratch.set_index = set_index
+                    pending = controller.observe_access(
+                        set_index, block, scratch
+                    )
+                    assert pending is None, (
+                        "controllers defer only on MTD misses"
+                    )
+                # A tag hit may still be an in-flight line
+                # (hit-under-miss): complete no earlier than the
+                # outstanding fill, without counting a merge (inline
+                # MSHRFile.lookup with count_merge=False).
+                completion = l1_done + l2_hit_latency
+                entry = mshr_in_flight.get(block)
+                if entry is not None:
+                    in_flight = entry.complete
+                    if in_flight <= l1_done:
+                        del mshr_in_flight[block]
+                    elif in_flight > completion:
+                        completion = in_flight
+            else:
+                # L2 miss: fill, then walk the MSHR/memory path.
+                l2.misses += 1
+                state = BlockState(block, seq)
+                ways = cache_set.ways
+                victim = None
+                if len(ways) >= l2_assoc:
+                    if policy.victim_is_lru_tail:
+                        victim = ways.pop()
+                    else:
+                        victim = ways.pop(policy.choose_victim(cache_set))
+                    del cache_set._index[victim.block]
+                    if victim.dirty:
+                        l2.writebacks += 1
+                if policy.default_on_fill:
+                    ways.insert(0, state)
+                    cache_set._index[block] = state
+                else:
+                    policy.on_fill(cache_set, state)
+                compulsory = False
+                if l2_seen is not None and block not in l2_seen:
+                    l2_seen.add(block)
+                    compulsory = True
+                    l2.compulsory_misses += 1
+                pending = None
+                if controller is not None:
+                    scratch.hit = False
+                    scratch.state = state
+                    scratch.set_index = set_index
+                    scratch.compulsory = compulsory
+                    if victim is not None:
+                        scratch.victim_block = victim.block
+                        scratch.victim_dirty = victim.dirty
+                    else:
+                        scratch.victim_block = None
+                        scratch.victim_dirty = False
+                    pending = controller.observe_access(
+                        set_index, block, scratch
+                    )
+                if victim is not None:
+                    victim_block = victim.block
+                    if victim.dirty:
+                        memory_write(victim_block, l1_done)
+                    # Enforce inclusion: the victim leaves the L1s as
+                    # well (inline SetAssociativeCache.invalidate).
+                    vset = l1d_sets[victim_block % l1d_n_sets]
+                    vstate = vset._index.get(victim_block)
+                    if vstate is not None:
+                        vset.ways.remove(vstate)
+                        del vset._index[victim_block]
+                    vset = l1i_sets[victim_block % l1i_n_sets]
+                    vstate = vset._index.get(victim_block)
+                    if vstate is not None:
+                        vset.ways.remove(vstate)
+                        del vset._index[victim_block]
+                if warm:
+                    self.demand_misses += 1
+                    if compulsory:
+                        self.compulsory_misses += 1
+                    if current_phase is not None:
+                        current_phase.misses += 1
+
+                # Inline MSHRFile.lookup: a hit on the miss path is a
+                # merge — the access piggybacks on the old fill whose
+                # tag was evicted while still in flight.
+                entry = mshr_in_flight.get(block)
+                if entry is not None and entry.complete <= l1_done:
+                    del mshr_in_flight[block]
+                    entry = None
+                if entry is not None:
+                    mshr.merges += 1
+                    if pending is not None:
+                        pending(0)
+                    completion = l1_done + l2_hit_latency
+                    in_flight = entry.complete
+                    if in_flight > completion:
+                        completion = in_flight
+                else:
+                    # Inline MSHRFile.admission_time.
+                    issue = l1_done + l2_hit_latency
+                    while mshr_occ_heap and mshr_occ_heap[0] <= issue:
+                        heappop(mshr_occ_heap)
+                    while len(mshr_occ_heap) >= mshr_entries:
+                        earliest = heappop(mshr_occ_heap)
+                        if earliest > issue:
+                            issue = earliest
+                            mshr.full_stalls += 1
+                    if issue < mshr._now:
+                        issue = mshr._now
+                    # Inline MemoryController.read_line (_admit, bank
+                    # access for the flat-latency array, bus transfer).
+                    while memory_in_flight and memory_in_flight[0] <= issue:
+                        heappop(memory_in_flight)
+                    start_at = issue
+                    while len(memory_in_flight) >= memory_max:
+                        earliest = heappop(memory_in_flight)
+                        if earliest > start_at:
+                            start_at = earliest
+                            memory.queueing_stalls += 1
+                    if plain_banks:
+                        bank = block % n_banks
+                        bank_start = bank_free[bank]
+                        if bank_start > start_at:
+                            banks.conflicts += 1
+                        else:
+                            bank_start = start_at
+                        data_ready = bank_start + bank_latency
+                        bank_free[bank] = data_ready
+                        banks.accesses += 1
+                    else:
+                        data_ready = banks_access(block, start_at)
+                    bus_start = bus._free_at
+                    if bus_start > data_ready:
+                        bus.contended += 1
+                    else:
+                        bus_start = data_ready
+                    bus._free_at = bus_start + bus_occupancy
+                    bus.transfers += 1
+                    completion = bus_start + bus_transfer_delay
+                    heappush(memory_in_flight, completion)
+                    in_flight_count = len(memory_in_flight)
+                    if in_flight_count > memory.peak_in_flight:
+                        memory.peak_in_flight = in_flight_count
+                    memory.requests += 1
+
+                    def on_cost(cost, _state=state, _block=block,
+                                _phase=current_phase, _warm=warm,
+                                _pending=pending):
+                        # Inline _make_cost_sink (observer is None on
+                        # the fused path); loop variables are frozen as
+                        # defaults, run-constant sinks close over the
+                        # enclosing scope.
+                        cost_q = quantize(cost)
+                        _state.cost_q = cost_q
+                        if _warm:
+                            dist_record(cost)
+                            if delta_record is not None:
+                                delta_record(_block, cost)
+                            if _phase is not None:
+                                _phase.cost_q_sum += cost_q
+                                _phase.cost_count += 1
+                        if _pending is not None:
+                            _pending(cost_q)
+
+                    # Inline MSHRFile.allocate (issue ordering and
+                    # completion >= issue hold by construction here, so
+                    # the entry checks are skipped).
+                    if mshr_demand_heap and mshr_demand_heap[0][0] <= issue:
+                        mshr_advance(issue)
+                    elif issue > mshr._now:
+                        live = mshr._demand_live
+                        if live:
+                            mshr._accumulator += (issue - mshr._now) / live
+                        mshr._now = issue
+                    entry = MSHREntry(block, issue, completion, True)
+                    entry.on_cost = on_cost
+                    entry.accumulator_start = mshr._accumulator
+                    mshr._demand_live += 1
+                    tiebreak = mshr._tiebreak + 1
+                    mshr._tiebreak = tiebreak
+                    heappush(mshr_demand_heap, (completion, tiebreak, entry))
+                    heappush(mshr_occ_heap, completion)
+                    mshr_in_flight[block] = entry
+                    mshr.allocations += 1
+                    occupancy = len(mshr_occ_heap)
+                    if occupancy > mshr.peak_occupancy:
+                        mshr.peak_occupancy = occupancy
+
+                    if prefetcher is not None:
+                        for candidate in prefetcher.observe(block):
+                            prefetch_block(candidate, issue)
+
+            if is_store:
+                admitted = store_admit(dispatch, completion)
+                if admitted > dispatch:
+                    stall_until(admitted)
+            else:
+                complete_memory_op(completion)
+
+        mshr.drain()
         return current_phase
 
     # -- hierarchy --------------------------------------------------------
@@ -264,71 +762,79 @@ class Simulator:
         phase: Optional[PhaseSample],
     ) -> float:
         """Send one access down L1 -> L2 -> memory; return completion time."""
-        config = self.config
+        mshr = self.mshr
         # Finalize the cost of every miss serviced before this access so
         # replacement sees up-to-date cost_q values (the hardware writes
         # cost into the tag store at service completion, Section 5).
-        self.mshr.advance_to(when)
-        l1 = self.l1i if kind == IFETCH else self.l1d
-        is_store = kind == STORE
+        if when > mshr._now:
+            mshr._advance(when)
+        if kind == IFETCH:
+            l1 = self.l1i
+            is_store = False
+        else:
+            l1 = self.l1d
+            is_store = kind == STORE
         r1 = l1.access(block, is_write=is_store)
-        l1_done = when + l1.geometry.hit_latency
+        l1_done = when + l1.hit_latency
         if r1.hit:
             return l1_done
         if r1.victim_dirty:
             self._l1_writeback(r1.victim_block, when)
 
-        l2 = self.l2
-        r2 = l2.access(block)
+        r2 = self.l2.access(block)
         pending: Optional[Callable[[int], None]] = None
-        if demand and self.controller is not None:
-            pending = self.controller.observe_access(r2.set_index, block, r2)
+        controller = self.controller
+        if demand and controller is not None:
+            pending = controller.observe_access(r2.set_index, block, r2)
 
+        l2_hit_latency = self.l2.hit_latency
         if r2.hit:
             # A tag hit may still be an in-flight line (hit-under-miss
             # to the same block): the access completes no earlier than
-            # the outstanding fill.
-            completion = l1_done + config.l2.hit_latency
-            in_flight = self.mshr.lookup(block, l1_done)
+            # the outstanding fill.  No MSHR entry is allocated or
+            # coalesced here, so the probe must not count as a merge.
+            completion = l1_done + l2_hit_latency
+            in_flight = mshr.lookup(block, l1_done, count_merge=False)
             if in_flight is not None and in_flight > completion:
                 completion = in_flight
             assert pending is None, "controllers defer only on MTD misses"
             return completion
 
         # L2 miss path.
-        if r2.victim_dirty:
-            self.memory.write_line(r2.victim_block, l1_done)
-        if r2.victim_block is not None:
+        victim_block = r2.victim_block
+        if victim_block is not None:
+            if r2.victim_dirty:
+                self.memory.write_line(victim_block, l1_done)
             # Enforce inclusion: the victim leaves the L1s as well.
-            self.l1d.invalidate(r2.victim_block)
-            self.l1i.invalidate(r2.victim_block)
+            self.l1d.invalidate(victim_block)
+            self.l1i.invalidate(victim_block)
 
-        if demand and self._warm:
+        warm = self._warm
+        if demand and warm:
             self.demand_misses += 1
             if r2.compulsory:
                 self.compulsory_misses += 1
             if phase is not None:
                 phase.misses += 1
 
-        in_flight = self.mshr.lookup(block, l1_done)
+        in_flight = mshr.lookup(block, l1_done)
         if in_flight is not None:
             # The line's tag was evicted while its fill was still in
             # flight and is now re-requested: merge with the old fill.
             if pending is not None:
                 pending(0)
-            return max(in_flight, l1_done + config.l2.hit_latency)
+            return max(in_flight, l1_done + l2_hit_latency)
 
-        raw_issue = l1_done + config.l2.hit_latency
-        issue = self.mshr.admission_time(raw_issue)
-        if issue < self.mshr.sweep_time:
-            issue = self.mshr.sweep_time
+        issue = mshr.admission_time(l1_done + l2_hit_latency)
+        if issue < mshr._now:
+            issue = mshr._now
         completion = self.memory.read_line(block, issue)
         on_cost = None
         if demand:
             on_cost = self._make_cost_sink(
-                block, r2.state, pending, phase, record_stats=self._warm
+                block, r2.state, pending, phase, record_stats=warm
             )
-        self.mshr.allocate(block, issue, completion, demand, on_cost)
+        mshr.allocate(block, issue, completion, demand, on_cost)
         if demand and self.prefetcher is not None:
             for candidate in self.prefetcher.observe(block):
                 self._prefetch_block(candidate, issue)
@@ -370,7 +876,8 @@ class Simulator:
                 observer.cost_quantized(block, cost, cost_q)
             if record_stats:
                 distribution.record(cost)
-                delta.record(block, cost)
+                if delta is not None:
+                    delta.record(block, cost)
                 if phase is not None:
                     phase.cost_q_sum += cost_q
                     phase.cost_count += 1
@@ -380,7 +887,12 @@ class Simulator:
         return on_cost
 
     def _finish_warmup(self, instr_index: int, cycle: float) -> None:
-        """Reset reported statistics at the warm-up boundary."""
+        """Reset reported statistics at the warm-up boundary.
+
+        Every counter :meth:`_finalize` reports must be snapshotted
+        here; anything left out would mix warm-up activity into the
+        measured region.
+        """
         self._warm = True
         self._warmup_end_instruction = instr_index
         self._warmup_end_cycle = cycle
@@ -390,6 +902,13 @@ class Simulator:
         self._warmup_stall_cycles = window.stall_cycles
         self._warmup_l2_accesses = self.l2.accesses
         self._warmup_l2_misses = self.l2.misses
+        self._warmup_l1d_accesses = self.l1d.accesses
+        self._warmup_l1d_misses = self.l1d.misses
+        self._warmup_mshr_merges = self.mshr.merges
+        self._warmup_mshr_full_stalls = self.mshr.full_stalls
+        self._warmup_writebacks = self.l2.writebacks
+        self._warmup_bank_conflicts = self.memory.banks.conflicts
+        self._warmup_bus_contended = self.memory.bus.contended
 
     def _l1_writeback(self, block: int, when: float) -> None:
         """An L1 victim writes back into the L2 without recency update."""
@@ -431,6 +950,10 @@ class Simulator:
         stall_cycles = window.stall_cycles - getattr(
             self, "_warmup_stall_cycles", 0.0
         )
+        if self.delta is not None:
+            delta_summary = self.delta.summary()
+        else:
+            delta_summary = DeltaSummary(0, 0.0, 0.0, 0.0, 0.0)
         result = SimResult(
             policy_name=self._policy_label,
             instructions=instructions,
@@ -444,15 +967,22 @@ class Simulator:
             stall_cycles=stall_cycles,
             long_stalls=long_stalls,
             cost_distribution=self.cost_distribution,
-            delta_summary=self.delta.summary(),
+            delta_summary=delta_summary,
             phases=self.phases,
-            l1d_accesses=self.l1d.accesses,
-            l1d_misses=self.l1d.misses,
-            mshr_merges=self.mshr.merges,
-            mshr_full_stalls=self.mshr.full_stalls,
-            bank_conflicts=self.memory.banks.conflicts,
-            bus_contended=self.memory.bus.contended,
-            writebacks=self.l2.writebacks,
+            l1d_accesses=self.l1d.accesses
+            - getattr(self, "_warmup_l1d_accesses", 0),
+            l1d_misses=self.l1d.misses
+            - getattr(self, "_warmup_l1d_misses", 0),
+            mshr_merges=self.mshr.merges
+            - getattr(self, "_warmup_mshr_merges", 0),
+            mshr_full_stalls=self.mshr.full_stalls
+            - getattr(self, "_warmup_mshr_full_stalls", 0),
+            bank_conflicts=self.memory.banks.conflicts
+            - getattr(self, "_warmup_bank_conflicts", 0),
+            bus_contended=self.memory.bus.contended
+            - getattr(self, "_warmup_bus_contended", 0),
+            writebacks=self.l2.writebacks
+            - getattr(self, "_warmup_writebacks", 0),
             psel_final=psel_final,
         )
         if self._obs is not None:

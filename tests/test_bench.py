@@ -1,0 +1,97 @@
+"""Tests for the ``repro.bench`` harness (smoke-sized runs only)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    MACRO_POLICIES,
+    MACRO_WORKLOADS,
+    SCHEMA,
+    build_report,
+    machine_fingerprint,
+    run_macro,
+    run_micro,
+    validate_report,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    micro = run_micro(quick=True)
+    macro = run_macro(quick=True, workloads=("mcf",), policies=("lru",))
+    return build_report(micro, macro, tag="test", created_unix=0)
+
+
+class TestMicro:
+    def test_quick_run_shape(self):
+        micro = run_micro(quick=True)
+        assert [e["name"] for e in micro] == [
+            "cache_access", "mshr_sweep", "lin_victim",
+        ]
+        for entry in micro:
+            assert entry["ops"] > 0
+            assert entry["seconds"] > 0
+            assert entry["ops_per_sec"] == pytest.approx(
+                entry["ops"] / entry["seconds"]
+            )
+
+
+class TestMacro:
+    def test_quick_run_embeds_simulation_results(self):
+        entries = run_macro(quick=True, workloads=("mcf",),
+                            policies=("lru", "lin(4)"))
+        assert [(e["workload"], e["policy"]) for e in entries] == [
+            ("mcf", "lru"), ("mcf", "lin(4)"),
+        ]
+        for entry in entries:
+            assert entry["accesses"] > 0
+            assert entry["result"]["l2_misses"] > 0
+            assert entry["result"]["cycles"] > 0
+            assert entry["result"]["demand_misses"] > 0
+
+    def test_default_matrix_names_are_valid(self):
+        from repro.workloads.spec2000 import BENCHMARKS
+        assert set(MACRO_WORKLOADS) <= set(BENCHMARKS)
+        assert "lru" in MACRO_POLICIES
+
+
+class TestReport:
+    def test_build_and_validate(self, quick_report):
+        validate_report(quick_report)  # must not raise
+        assert quick_report["schema"] == SCHEMA
+        assert quick_report["tag"] == "test"
+        assert quick_report["created_unix"] == 0
+        # The report must survive a JSON round trip unchanged.
+        assert json.loads(json.dumps(quick_report)) == quick_report
+
+    def test_fingerprint_fields(self):
+        fingerprint = machine_fingerprint()
+        for key in ("platform", "machine", "python", "cpus"):
+            assert key in fingerprint
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("schema"),
+        lambda r: r.__setitem__("schema", "bogus/v0"),
+        lambda r: r["micro"][0].pop("ops_per_sec"),
+        lambda r: r["micro"][0].__setitem__("ops", True),
+        lambda r: r["macro"][0].pop("result"),
+        lambda r: r["macro"][0]["result"].pop("l2_misses"),
+        lambda r: r.__setitem__("macro", "not-a-list"),
+    ])
+    def test_validate_rejects_malformed(self, quick_report, mutate):
+        broken = json.loads(json.dumps(quick_report))
+        mutate(broken)
+        with pytest.raises(ValueError):
+            validate_report(broken)
+
+
+class TestCli:
+    def test_quick_cli_writes_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_ci.json"
+        assert bench_main(["--quick", "--tag", "ci", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        validate_report(report)
+        assert report["tag"] == "ci"
+        assert "accesses/s" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Tests pinning down the optimized simulation kernel.
+
+The PR 3 speedup rests on three load-bearing invariants:
+
+* ``CacheSet._index[state.block] is state`` for exactly the entries in
+  ``ways`` (the dict-backed residency index);
+* the ``try_hit``/``hit_fast``/``miss_fill`` fast-path protocol applies
+  byte-for-byte the same side effects as the generic ``access``;
+* the fused replay loop in ``Simulator._replay_fused`` produces
+  bit-identical :class:`SimResult` payloads to the generic loop.
+"""
+
+import random
+from unittest import mock
+
+from repro.cache.block import BlockState
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lin import LINPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.sets import CacheSet
+from repro.config import CacheGeometry
+from repro.sim.simulator import Simulator
+from repro.workloads import build_trace, experiment_config
+
+
+class TestCacheSetIndex:
+    def test_randomized_ops_keep_index_coherent(self):
+        rng = random.Random(20060617)
+        cache_set = CacheSet(8)
+        reference = []  # mirror of ways maintained with plain list ops
+        next_block = 0
+        for _ in range(5000):
+            op = rng.randrange(6)
+            if op == 0 and len(reference) < 8:
+                state = BlockState(next_block, next_block)
+                next_block += 1
+                cache_set.insert_mru(state)
+                reference.insert(0, state)
+            elif op == 1 and len(reference) < 8:
+                state = BlockState(next_block, next_block)
+                next_block += 1
+                cache_set.insert_lru(state)
+                reference.append(state)
+            elif op == 2 and len(reference) < 8:
+                state = BlockState(next_block, next_block)
+                next_block += 1
+                position = rng.randrange(len(reference) + 1)
+                cache_set.insert_at(position, state)
+                if position >= len(reference):
+                    reference.append(state)
+                else:
+                    reference.insert(position, state)
+            elif op == 3 and reference:
+                position = rng.randrange(len(reference))
+                assert cache_set.evict(position) is reference.pop(position)
+            elif op == 4 and reference:
+                position = rng.randrange(len(reference))
+                state = cache_set.touch(position)
+                assert state is reference.pop(position)
+                reference.insert(0, state)
+            elif op == 5:
+                probe = rng.randrange(next_block + 1)
+                expected = next(
+                    (i for i, s in enumerate(reference) if s.block == probe),
+                    -1,
+                )
+                assert cache_set.find(probe) == expected
+                resident = cache_set.get(probe)
+                if expected == -1:
+                    assert resident is None
+                else:
+                    assert resident is reference[expected]
+            assert cache_set.ways == reference
+            assert cache_set.index_coherent()
+
+    def test_cache_access_stream_keeps_every_set_coherent(self):
+        rng = random.Random(7)
+        cache = SetAssociativeCache(CacheGeometry(4096, 64, 4, 2), LRUPolicy())
+        resident = set()
+        for _ in range(3000):
+            block = rng.randrange(200)
+            if rng.random() < 0.1:
+                assert cache.invalidate(block) == (block in resident)
+                resident.discard(block)
+            else:
+                result = cache.access(block, is_write=rng.random() < 0.3)
+                assert result.hit == (block in resident)
+                resident.add(block)
+                if result.victim_block is not None:
+                    resident.discard(result.victim_block)
+            assert cache.contains(block) == (block in resident)
+        for set_index in range(cache.n_sets):
+            assert cache.set_state(set_index).index_coherent()
+        assert cache.resident_blocks() == resident
+
+
+class TestFastPathProtocol:
+    def _twin_caches(self):
+        geometry = CacheGeometry(2048, 64, 4, 2)
+        return (
+            SetAssociativeCache(geometry, LRUPolicy()),
+            SetAssociativeCache(geometry, LRUPolicy()),
+        )
+
+    def test_fast_path_matches_generic_access(self):
+        fast, generic = self._twin_caches()
+        assert fast.is_plain()
+        rng = random.Random(42)
+        for _ in range(4000):
+            block = rng.randrange(96)
+            is_write = rng.random() < 0.25
+            expected = generic.access(block, is_write)
+            if not fast.hit_fast(block, is_write):
+                state, victim, compulsory = fast.miss_fill(block, is_write)
+                assert not expected.hit
+                assert state.block == expected.state.block
+                victim_block = victim.block if victim is not None else None
+                assert victim_block == expected.victim_block
+                assert compulsory == expected.compulsory
+            else:
+                assert expected.hit
+        for field in ("accesses", "hits", "misses", "compulsory_misses",
+                      "writebacks"):
+            assert getattr(fast, field) == getattr(generic, field), field
+        assert fast.resident_blocks() == generic.resident_blocks()
+        for set_index in range(fast.n_sets):
+            assert (fast.set_state(set_index).snapshot()
+                    == generic.set_state(set_index).snapshot())
+
+    def test_try_hit_declines_when_not_plain(self):
+        cache, _ = self._twin_caches()
+        cache.access(0)
+        assert cache.try_hit(0)
+        cache.policy_selector = lambda set_index: cache.policy
+        assert not cache.is_plain()
+        assert not cache.try_hit(0)  # declined, not a miss
+
+    def test_instance_access_patch_disables_fast_path(self):
+        cache, _ = self._twin_caches()
+        assert cache.is_plain()
+        # attach_classifier-style instrumentation rebinds the bound
+        # method on the instance; the fast path must stand down.
+        cache.access = SetAssociativeCache.access.__get__(cache)
+        assert not cache.is_plain()
+
+
+class TestVictimIsLruTailFlag:
+    def test_flag_values(self):
+        assert LRUPolicy.victim_is_lru_tail is True
+        assert LINPolicy.victim_is_lru_tail is False
+        assert ReplacementPolicy.victim_is_lru_tail is False
+
+    def test_subclass_inherits_until_choose_victim_changes(self):
+        class RenamedLRU(LRUPolicy):
+            name = "renamed-lru"
+
+        assert RenamedLRU.victim_is_lru_tail is True
+
+        class NotTailLRU(LRUPolicy):
+            name = "not-tail-lru"
+
+            def choose_victim(self, cache_set):
+                return 0
+
+        # Overriding choose_victim without redeclaring the flag must
+        # reset it: the fused loop would otherwise evict the wrong way.
+        assert NotTailLRU.victim_is_lru_tail is False
+
+
+class TestFusedReplayDifferential:
+    def test_fused_matches_generic_loop(self):
+        trace = build_trace("mcf", scale=0.05)
+        for policy in ("lru", "lin(4)", "sbar", "dip"):
+            fused_sim = Simulator(experiment_config(), policy)
+            with mock.patch.object(
+                Simulator, "_replay_fused", wraps=fused_sim._replay_fused
+            ) as fused_spy:
+                fused = fused_sim.run(trace)
+            assert fused_spy.called, policy  # really took the fused loop
+            generic_sim = Simulator(experiment_config(), policy)
+            # An instance-level ``access`` binding makes the L2 fail
+            # ``is_plain`` and forces _replay down the generic loop
+            # while changing no behavior.
+            generic_sim.l2.access = SetAssociativeCache.access.__get__(
+                generic_sim.l2
+            )
+            generic = generic_sim.run(trace)
+            assert fused.to_dict() == generic.to_dict(), policy
