@@ -12,11 +12,11 @@ test:
 
 # Kernel performance report (micro + macro benchmarks) -> BENCH_local.json.
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro.bench --out BENCH_local.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench --out BENCH_local.json --force
 
 # Smoke-sized bench run (what CI executes); timings are meaningless.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_smoke.json --force
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

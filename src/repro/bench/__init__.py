@@ -19,6 +19,8 @@ from repro.bench.micro import run_micro
 from repro.bench.report import (
     SCHEMA,
     build_report,
+    check_macro_cell,
+    find_macro_cell,
     machine_fingerprint,
     validate_report,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "MACRO_WORKLOADS",
     "SCHEMA",
     "build_report",
+    "check_macro_cell",
+    "find_macro_cell",
     "machine_fingerprint",
     "run_macro",
     "run_micro",

@@ -4,17 +4,54 @@ Runs the micro- and macro-benchmarks and writes a schema-validated
 report (see :mod:`repro.bench.report`).  ``--quick`` runs a smoke-sized
 variant for CI; its timings are meaningless but the report shape and
 the embedded simulation results are still checked.
+
+Refuses to overwrite an existing report unless ``--force`` is given —
+committed baselines (``BENCH_pr3.json`` etc.) are easy to clobber by
+re-running with the same ``--tag`` otherwise.
+
+``--check REPORT --cell WORKLOAD/POLICY`` re-simulates one macro cell
+at the report's recorded scale and compares the machine-independent
+result fields.  That is the CI perf-smoke check: a digest mismatch
+means the simulation kernel changed behavior.  Timings are never
+compared.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.bench.macro import run_macro
 from repro.bench.micro import run_micro
-from repro.bench.report import build_report, validate_report
+from repro.bench.report import (
+    build_report,
+    check_macro_cell,
+    validate_report,
+)
+
+
+def _check_mode(report_path: str, cell: str) -> int:
+    try:
+        workload, policy = cell.split("/", 1)
+    except ValueError:
+        print("--cell must look like WORKLOAD/POLICY, got %r" % cell,
+              file=sys.stderr)
+        return 2
+    with open(report_path) as handle:
+        report = json.load(handle)
+    validate_report(report)
+    try:
+        fresh = check_macro_cell(report, workload, policy)
+    except ValueError as exc:
+        print("FAIL: %s" % exc, file=sys.stderr)
+        return 1
+    print("OK: %s/%s results match %s (%s)" % (
+        workload, policy, report_path,
+        ", ".join("%s=%s" % item for item in sorted(fresh.items())),
+    ))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -43,7 +80,37 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="smoke mode: tiny traces, single repetition (CI)",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite the output file if it already exists",
+    )
+    parser.add_argument(
+        "--check", metavar="REPORT", default=None,
+        help="re-simulate one macro cell of REPORT and compare its "
+        "machine-independent results (requires --cell); no report is "
+        "written",
+    )
+    parser.add_argument(
+        "--cell", metavar="WORKLOAD/POLICY", default=None,
+        help="macro cell to verify in --check mode, e.g. mcf/sbar",
+    )
     args = parser.parse_args(argv)
+
+    if args.check is not None:
+        if args.cell is None:
+            parser.error("--check requires --cell WORKLOAD/POLICY")
+        return _check_mode(args.check, args.cell)
+    if args.cell is not None:
+        parser.error("--cell only makes sense with --check")
+
+    out = args.out or ("BENCH_%s.json" % args.tag)
+    if os.path.exists(out) and not args.force:
+        print(
+            "refusing to overwrite existing %s (pass --force to replace it)"
+            % out,
+            file=sys.stderr,
+        )
+        return 2
 
     print("running micro-benchmarks%s..." % (" (quick)" if args.quick else ""))
     micro = run_micro(quick=args.quick)
@@ -56,15 +123,15 @@ def main(argv=None) -> int:
     )
     for entry in macro:
         print(
-            "  %-4s/%-7s %8.0f accesses/s  (%.3fs, %d L2 misses)"
+            "  %-4s/%-10s %8.0f accesses/s  (%.3fs, %d L2 misses%s)"
             % (entry["workload"], entry["policy"],
                entry["accesses_per_sec"], entry["seconds"],
-               entry["result"]["l2_misses"])
+               entry["result"]["l2_misses"],
+               "" if entry["fused"] else ", generic loop")
         )
 
     report = build_report(micro, macro, tag=args.tag)
     validate_report(report)
-    out = args.out or ("BENCH_%s.json" % args.tag)
     with open(out, "w") as handle:
         json.dump(report, handle, indent=1, sort_keys=True)
         handle.write("\n")

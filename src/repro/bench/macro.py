@@ -1,12 +1,17 @@
 """Macro-benchmarks: full-trace simulation runs.
 
 Times complete :class:`repro.sim.simulator.Simulator` runs across the
-figure1/sensitivity workload surrogates and the three policy families
-the experiments sweep most (plain LRU, the paper's LIN, and the SBAR
-dueling controller).  Each entry also embeds the run's key simulation
+figure1/sensitivity workload surrogates and the policy families the
+experiments sweep most (plain LRU, the paper's LIN, and the SBAR/CBS
+dueling controllers).  Each entry also embeds the run's key simulation
 results — those are machine-independent, so two reports from different
 hosts must agree on them even though their timings differ; a mismatch
 means the kernel changed behavior, not just speed.
+
+Each entry additionally records whether the run took the fused replay
+loop (``fused``): a silent fall-back to the generic loop would
+otherwise masquerade as a timing regression.  Traces are packed once
+per workload and shared across the policy cells.
 """
 
 from __future__ import annotations
@@ -15,11 +20,34 @@ from time import perf_counter
 from typing import Dict, List, Sequence
 
 from repro.sim.simulator import Simulator
+from repro.trace.packed import pack_trace
 from repro.workloads import build_trace, experiment_config
 
 #: Workloads × policies timed by ``run_macro`` (and ``make bench``).
 MACRO_WORKLOADS = ("mcf", "art")
-MACRO_POLICIES = ("lru", "lin(4)", "sbar")
+MACRO_POLICIES = ("lru", "lin(4)", "sbar", "cbs-global", "cbs-local")
+
+
+def macro_result_fields(result) -> Dict[str, object]:
+    """The machine-independent result payload embedded per cell."""
+    return {
+        "l2_misses": result.l2_misses,
+        "cycles": result.cycles,
+        "demand_misses": result.demand_misses,
+    }
+
+
+def simulate_cell(workload: str, policy: str, scale: float):
+    """Run one macro cell untimed; returns (SimResult, fused_replay).
+
+    This is the re-simulation entry point the report ``--check`` mode
+    uses: identical machine setup to the timed cells, so the embedded
+    result fields must reproduce exactly on any host.
+    """
+    trace = pack_trace(build_trace(workload, scale=scale))
+    sim = Simulator(experiment_config(), policy)
+    result = sim.run(trace)
+    return result, sim.fused_replay
 
 
 def run_macro(
@@ -34,7 +62,11 @@ def run_macro(
     ``quick`` shrinks the traces and skips repetition for smoke tests;
     otherwise each cell reports best-of-``repeat`` wall time after one
     untimed warm-up run (first-run interpreter effects dominate
-    otherwise).
+    otherwise).  Repetitions are *interleaved* round-robin across the
+    cells rather than run back-to-back per cell: machine noise is often
+    sustained over many seconds, and consecutive repeats of one cell
+    would all land in the same slow window while another cell gets all
+    the quiet ones.
     """
     if quick:
         scale = 0.05
@@ -42,31 +74,33 @@ def run_macro(
     config = experiment_config()
     entries: List[Dict[str, object]] = []
     for workload in workloads:
-        trace = build_trace(workload, scale=scale)
+        trace = pack_trace(build_trace(workload, scale=scale))
         accesses = len(trace)
         for policy in policies:
             if not quick:
                 Simulator(config, policy).run(trace)
-            best = float("inf")
-            result = None
-            for _ in range(repeat):
-                sim = Simulator(config, policy)
-                start = perf_counter()
-                run_result = sim.run(trace)
-                elapsed = perf_counter() - start
-                if elapsed < best:
-                    best = elapsed
-                    result = run_result
             entries.append({
                 "workload": workload,
                 "policy": policy,
                 "accesses": accesses,
-                "seconds": best,
-                "accesses_per_sec": accesses / best,
-                "result": {
-                    "l2_misses": result.l2_misses,
-                    "cycles": result.cycles,
-                    "demand_misses": result.demand_misses,
-                },
+                "scale": scale,
+                "seconds": float("inf"),
+                "accesses_per_sec": 0.0,
+                "fused": False,
+                "result": None,
+                "_trace": trace,
             })
+    for _ in range(repeat):
+        for entry in entries:
+            sim = Simulator(config, entry["policy"])
+            start = perf_counter()
+            result = sim.run(entry["_trace"])
+            elapsed = perf_counter() - start
+            if elapsed < entry["seconds"]:
+                entry["seconds"] = elapsed
+                entry["accesses_per_sec"] = entry["accesses"] / elapsed
+                entry["fused"] = sim.fused_replay
+                entry["result"] = macro_result_fields(result)
+    for entry in entries:
+        del entry["_trace"]
     return entries

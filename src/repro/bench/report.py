@@ -5,20 +5,29 @@ A report is a plain JSON-safe dict:
 .. code-block:: text
 
     {
-      "schema": "repro.bench/v1",
-      "tag": "pr3",
+      "schema": "repro.bench/v2",
+      "tag": "pr4",
       "created_unix": 1754400000.0,
       "machine": {"platform": ..., "python": ..., "cpus": ...},
       "code_version": "<git commit or 'unknown'>",
       "micro": [{"name", "ops", "seconds", "ops_per_sec"}, ...],
-      "macro": [{"workload", "policy", "accesses", "seconds",
-                 "accesses_per_sec", "result": {"l2_misses", "cycles",
-                 "demand_misses"}}, ...]
+      "macro": [{"workload", "policy", "accesses", "scale", "seconds",
+                 "accesses_per_sec", "fused", "result": {"l2_misses",
+                 "cycles", "demand_misses"}}, ...]
     }
+
+v2 added two macro-cell fields: ``scale`` (the trace scale the cell
+ran at, so any host can rebuild the exact trace) and ``fused`` (whether
+the run took the fused replay loop — a silent fall-back to the generic
+loop would otherwise read as a timing regression).
 
 ``validate_report`` is the single source of truth for that shape; the
 CI perf-smoke job and the bench CLI both call it, so a report that
 lands in the repo is guaranteed parseable by future tooling.
+``check_macro_cell`` re-simulates one cell and compares the embedded
+machine-independent result fields — the digest check CI runs against
+the committed baseline (results must match across hosts; timings are
+never compared).
 """
 
 from __future__ import annotations
@@ -31,12 +40,13 @@ from typing import Dict, List, Optional
 
 #: Current report schema identifier; bump the suffix on breaking shape
 #: changes so old reports stay recognizable.
-SCHEMA = "repro.bench/v1"
+SCHEMA = "repro.bench/v2"
 
 _MICRO_FIELDS = {"name": str, "ops": int, "seconds": float,
                  "ops_per_sec": float}
 _MACRO_FIELDS = {"workload": str, "policy": str, "accesses": int,
-                 "seconds": float, "accesses_per_sec": float,
+                 "scale": float, "seconds": float,
+                 "accesses_per_sec": float, "fused": bool,
                  "result": dict}
 _RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int}
 
@@ -116,7 +126,7 @@ def _check_fields(entry: object, spec: Dict[str, type], where: str) -> None:
 
 
 def validate_report(report: object) -> None:
-    """Raise ``ValueError`` when ``report`` violates the v1 schema."""
+    """Raise ``ValueError`` when ``report`` violates the v2 schema."""
     if not isinstance(report, dict):
         raise ValueError("report must be an object, got %r" % (report,))
     if report.get("schema") != SCHEMA:
@@ -138,4 +148,48 @@ def validate_report(report: object) -> None:
         _check_fields(entry, _MACRO_FIELDS, where)
         if entry["seconds"] <= 0 or entry["accesses_per_sec"] <= 0:
             raise ValueError("%s: timings must be positive" % where)
+        if entry["scale"] <= 0:
+            raise ValueError("%s: scale must be positive" % where)
         _check_fields(entry["result"], _RESULT_FIELDS, where + ".result")
+
+
+def find_macro_cell(
+    report: Dict[str, object], workload: str, policy: str
+) -> Dict[str, object]:
+    """Return the macro entry for ``workload``/``policy`` or raise."""
+    for entry in report["macro"]:
+        if entry["workload"] == workload and entry["policy"] == policy:
+            return entry
+    raise ValueError(
+        "report has no macro cell %s/%s" % (workload, policy)
+    )
+
+
+def check_macro_cell(
+    report: Dict[str, object], workload: str, policy: str
+) -> Dict[str, object]:
+    """Re-simulate one macro cell and compare its embedded results.
+
+    The comparison covers only the machine-independent ``result``
+    fields — never timings — so it must pass on any host for a report
+    produced by the same code.  Returns the freshly simulated result
+    payload on success; raises ``ValueError`` with a field-by-field
+    diff on mismatch.
+    """
+    from repro.bench.macro import macro_result_fields, simulate_cell
+
+    entry = find_macro_cell(report, workload, policy)
+    result, _fused = simulate_cell(workload, policy, entry["scale"])
+    fresh = macro_result_fields(result)
+    recorded = entry["result"]
+    mismatches = [
+        "%s: recorded %r, simulated %r" % (field, recorded[field], fresh[field])
+        for field in _RESULT_FIELDS
+        if recorded[field] != fresh[field]
+    ]
+    if mismatches:
+        raise ValueError(
+            "macro cell %s/%s result mismatch (%s)"
+            % (workload, policy, "; ".join(mismatches))
+        )
+    return fresh

@@ -76,6 +76,10 @@ class DIPController:
     ``note_instructions``) so ``Simulator(..., policy="dip")`` works.
     """
 
+    #: :meth:`note_instructions` is a no-op, so the simulator may skip
+    #: the per-record call entirely.
+    needs_instruction_clock = False
+
     def __init__(
         self,
         n_sets: int,

@@ -39,6 +39,17 @@ class SparseTagDirectory:
     def shadows(self, set_index: int) -> bool:
         return set_index in self._sets
 
+    def is_plain(self) -> bool:
+        """Whether the fused replay loop may inline this directory.
+
+        True only for an exact :class:`SparseTagDirectory` whose
+        :meth:`access` has not been patched on the instance — the same
+        contract :meth:`SetAssociativeCache.is_plain` gives the main
+        directory.  Callers additionally check the *policy* type before
+        inlining its hit/victim/fill behavior.
+        """
+        return type(self) is SparseTagDirectory and "access" not in self.__dict__
+
     @property
     def n_sets(self) -> int:
         return len(self._sets)

@@ -33,6 +33,10 @@ GLOBAL = "global"
 class CBSController:
     """CBS-local / CBS-global over a full pair of auxiliary directories."""
 
+    #: :meth:`note_instructions` is a no-op, so the simulator may skip
+    #: the per-record call entirely.
+    needs_instruction_clock = False
+
     def __init__(
         self,
         n_sets: int,

@@ -64,6 +64,12 @@ class SBARController:
         self.psel = PolicySelector(psel_bits)
         self._rng = random.Random(seed)
         self.epoch_instructions = epoch_instructions
+        # Only rand-dynamic epochs consume the instruction clock; the
+        # simulator skips the per-record note_instructions call (and
+        # may hoist the leader set) when this is False.
+        self.needs_instruction_clock = (
+            selection == RAND_DYNAMIC and epoch_instructions is not None
+        )
         self._epoch = 0
         self.leaders: FrozenSet[int] = self._draw_leaders()
         self.atd_lru = SparseTagDirectory(

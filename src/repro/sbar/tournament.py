@@ -41,6 +41,10 @@ class TournamentController:
             to 1.0 = longer memory, smaller = faster phase tracking.
     """
 
+    #: :meth:`note_instructions` is a no-op, so the simulator may skip
+    #: the per-record call entirely.
+    needs_instruction_clock = False
+
     def __init__(
         self,
         n_sets: int,

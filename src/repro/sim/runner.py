@@ -23,11 +23,25 @@ from repro import obs
 from repro.config import MachineConfig
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimResult
+from repro.trace.packed import PackedTrace
 
 _CACHE: Dict[Tuple, SimResult] = {}
 
+#: Per-process memo of built (and packed) workload traces, keyed on
+#: (benchmark, scale).  Synthesizing a macro trace costs ~100ms and grid
+#: fan-out used to pay it once per *task*; with the memo each worker
+#: process synthesizes each workload at most once (workers inherit this
+#: module, so :mod:`repro.sim.parallel` gets the benefit for free).
+#: Packed columns are ~10x smaller than Access lists, which is what
+#: makes caching several workloads at once affordable.
+_TRACE_CACHE: Dict[Tuple[str, float], PackedTrace] = {}
+
+#: Traces kept resident per process; oldest-inserted evicted beyond this.
+TRACE_CACHE_MAX = 8
+
 #: In-process memo counters, surfaced by :func:`cache_stats`.
-_MEMO_HITS = {"memo_hits": 0, "simulations": 0}
+_MEMO_HITS = {"memo_hits": 0, "simulations": 0,
+              "trace_builds": 0, "trace_memo_hits": 0}
 
 
 def trace_scale() -> float:
@@ -37,6 +51,33 @@ def trace_scale() -> float:
     more converged runs, or ``0.25`` for a quick smoke pass.
     """
     return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def packed_trace(benchmark: str, scale: Optional[float] = None) -> PackedTrace:
+    """The packed trace for one benchmark surrogate, memoized per process.
+
+    Equivalent to ``pack_trace(workloads.build_trace(benchmark,
+    scale=scale))`` but each (benchmark, scale) pair is synthesized at
+    most :data:`TRACE_CACHE_MAX`-bounded once per process.  Synthesis is
+    deterministic, so the memo can never serve a stale trace.
+    """
+    from repro import workloads  # deferred: workloads import the sim layer
+
+    if scale is None:
+        scale = trace_scale()
+    key = (benchmark, scale)
+    packed = _TRACE_CACHE.get(key)
+    if packed is None:
+        packed = PackedTrace.from_accesses(
+            workloads.build_trace(benchmark, scale=scale)
+        )
+        if len(_TRACE_CACHE) >= TRACE_CACHE_MAX:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = packed
+        _MEMO_HITS["trace_builds"] += 1
+    else:
+        _MEMO_HITS["trace_memo_hits"] += 1
+    return packed
 
 
 def _memo_key(
@@ -92,7 +133,7 @@ def run_policy(
             _CACHE[key] = result
             return result
 
-    trace = workloads.build_trace(benchmark, scale=scale)
+    trace = packed_trace(benchmark, scale=scale)
     simulator = Simulator(
         resolved_config, policy_spec, phase_interval=phase_interval
     )
@@ -161,5 +202,6 @@ def cache_stats() -> Dict[str, int]:
 
 
 def clear_cache() -> None:
-    """Drop memoized results (tests use this for isolation)."""
+    """Drop memoized results and traces (tests use this for isolation)."""
     _CACHE.clear()
+    _TRACE_CACHE.clear()

@@ -30,7 +30,7 @@ from typing import Callable, List, Optional, Union
 from repro import obs
 from repro.cache.block import BlockState
 from repro.cache.cache import AccessResult, SetAssociativeCache
-from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.cache.replacement import LINPolicy, LRUPolicy, ReplacementPolicy
 from repro.cache.replacement.dip import DIPController
 from repro.cache.replacement.registry import parse_policy_spec
 from repro.config import MachineConfig, baseline_config
@@ -43,10 +43,12 @@ from repro.mlp.cost import quantize_cost
 from repro.mlp.delta import DeltaSummary, DeltaTracker
 from repro.mlp.mshr import MSHRFile, _Entry as MSHREntry
 from repro.sbar.cbs import CBSController
+from repro.sbar.psel import PolicySelector
 from repro.sbar.sbar import SBARController
 from repro.sbar.tournament import TournamentController
 from repro.sim.stats import CostDistribution, PhaseSample, SimResult
-from repro.trace.record import IFETCH, STORE, Access
+from repro.trace.packed import PackedTrace
+from repro.trace.record import IFETCH, STORE
 
 #: Things accepted as the L2 replacement specification.
 PolicyLike = Union[
@@ -162,6 +164,10 @@ class Simulator:
         self._warmup_end_cycle = 0.0
         self._warmup_end_instruction = 0
         self._ran = False
+        #: Whether :meth:`run` took the fused replay loop.  Reports use
+        #: this so a silent fall-back to the generic loop shows up as
+        #: data instead of masquerading as a timing regression.
+        self.fused_replay = False
 
     def _wire_observer(self, observer: obs.Observer) -> None:
         """Install the telemetry sink into every instrumented component."""
@@ -252,7 +258,18 @@ class Simulator:
         l1i_hit = l1i.try_hit
         warm = self._warm
         warmup_instructions = self.warmup_instructions
-        bookkeeping = controller is not None or not warm or phase_interval
+        # Controllers that declare needs_instruction_clock=False have a
+        # no-op note_instructions; skipping the call per record is pure
+        # overhead removal.  Unknown controllers default to needing it.
+        clock_controller = (
+            controller
+            if controller is not None
+            and getattr(controller, "needs_instruction_clock", True)
+            else None
+        )
+        bookkeeping = (
+            clock_controller is not None or not warm or phase_interval
+        )
         current_phase: Optional[PhaseSample] = None
         if phase_interval:
             current_phase = PhaseSample(start_instruction=0, start_cycle=0.0)
@@ -277,9 +294,11 @@ class Simulator:
                 if not warm and instr_index >= warmup_instructions:
                     self._finish_warmup(instr_index, dispatch)
                     warm = True
-                    bookkeeping = controller is not None or phase_interval
-                if controller is not None:
-                    controller.note_instructions(instr_index)
+                    bookkeeping = (
+                        clock_controller is not None or phase_interval
+                    )
+                if clock_controller is not None:
+                    clock_controller.note_instructions(instr_index)
                 if phase_interval and instr_index // phase_interval != (
                     current_phase.start_instruction // phase_interval
                 ):
@@ -345,7 +364,14 @@ class Simulator:
         into locals) so the generic helpers that still run inside a
         fused replay (wrong-path accesses, prefetch fills, L1
         writebacks) always see coherent state.
+
+        SBAR and CBS additionally get a dedicated dueling fast path:
+        the leader-set ATD probes, the ±cost_q PSEL updates, and the
+        follower policy-selector lookup are inlined when the
+        ``sbar_fast``/``cbs_fast`` gates below hold, with the same
+        bit-for-bit contract.
         """
+        self.fused_replay = True
         window = self.window
         controller = self.controller
         block_bits = self.config.block_bits
@@ -392,9 +418,26 @@ class Simulator:
         access_hierarchy = self._access_hierarchy
         store_buffer = self.store_buffer
         store_admit = store_buffer.admit
-        advance = window.advance
-        complete_memory_op = window.complete_memory_op
-        stall_until = window.stall_until
+        # ---- window model hoisted into locals (WindowModel.advance /
+        # complete_memory_op / stall_until, inlined below).  Unlike the
+        # cache/MSHR counters, the window's scalar state can live in
+        # locals for the whole replay because nothing outside this loop
+        # reads it mid-run — except _finish_warmup, which gets an
+        # explicit flush at the warm-up boundary; a final flush before
+        # the return hands the state back for finish()/_finalize.
+        win_pending = window._pending
+        win_popleft = win_pending.popleft
+        win_append = win_pending.append
+        win_size = window.window_size
+        win_width = window.width
+        win_index = window._index
+        win_time = window._time
+        retire_cummax = window._retire_cummax
+        final_completion = window.final_completion
+        stall_cycles = window.stall_cycles
+        stall_events = window.stall_events
+        long_stalls = window.long_stalls
+        long_stall_threshold = window.LONG_STALL_THRESHOLD
         dist_record = self.cost_distribution.record
         delta = self.delta
         delta_record = delta.record if delta is not None else None
@@ -404,36 +447,141 @@ class Simulator:
         scratch = (
             AccessResult(False, None, 0) if controller is not None else None
         )
+
+        # ---- dueling fast-path gates (SBARController.policy_for_set /
+        # observe_access and CBSController counterparts, inlined below).
+        # Each gate demands the exact controller class with no
+        # instance-level method patches, plain ATDs with the stock
+        # LRU/LIN policies, and un-observed stock PSELs; anything else
+        # keeps the scratch-AccessResult controller path, which calls
+        # the real methods.  `sbar_fast` additionally requires a stable
+        # leader set (no rand-dynamic epoch clock) so the frozenset and
+        # the ATD can be hoisted out of the loop.
+        sbar_fast = (
+            type(controller) is SBARController
+            and not controller.needs_instruction_clock
+            and "policy_for_set" not in controller.__dict__
+            and "observe_access" not in controller.__dict__
+            and controller.atd_lru.is_plain()
+            and type(controller.atd_lru.policy) is LRUPolicy
+            and type(controller.psel) is PolicySelector
+            and controller.psel.observer is None
+        )
+        cbs_fast = (
+            type(controller) is CBSController
+            and "policy_for_set" not in controller.__dict__
+            and "observe_access" not in controller.__dict__
+            and controller.atd_lru.is_plain()
+            and controller.atd_lin.is_plain()
+            and type(controller.atd_lru.policy) is LRUPolicy
+            and type(controller.atd_lin.policy) is LINPolicy
+            and all(
+                type(psel) is PolicySelector and psel.observer is None
+                for psel in controller._psels
+            )
+        )
+        if sbar_fast:
+            sbar_leaders = controller.leaders
+            sbar_lin = controller.lin
+            sbar_lru = controller.lru
+            sbar_psel = controller.psel
+            sbar_psel_max = sbar_psel.max_value
+            sbar_psel_msb = sbar_psel._msb_threshold
+            sbar_atd = controller.atd_lru
+            sbar_atd_sets = sbar_atd._sets
+            sbar_atd_assoc = sbar_atd.associativity
+        if cbs_fast:
+            cbs_local = controller.scope == "local"
+            cbs_psels = controller._psels
+            cbs_psel0 = cbs_psels[0]
+            cbs_psel_max = cbs_psel0.max_value
+            cbs_psel_msb = cbs_psel0._msb_threshold
+            cbs_lin = controller.lin
+            cbs_lru = controller.lru
+            atd_lru = controller.atd_lru
+            atd_lru_sets = atd_lru._sets
+            atd_lru_assoc = atd_lru.associativity
+            atd_lin = controller.atd_lin
+            atd_lin_sets = atd_lin._sets
+            atd_lin_assoc = atd_lin.associativity
+            atd_lin_choose = atd_lin.policy.choose_victim
+
         warm = self._warm
         warmup_instructions = self.warmup_instructions
-        bookkeeping = controller is not None or not warm or phase_interval
+        clock_controller = (
+            controller
+            if controller is not None
+            and getattr(controller, "needs_instruction_clock", True)
+            else None
+        )
+        bookkeeping = (
+            clock_controller is not None or not warm or phase_interval
+        )
         current_phase: Optional[PhaseSample] = None
         if phase_interval:
             current_phase = PhaseSample(start_instruction=0, start_cycle=0.0)
             self.phases.append(current_phase)
 
-        for access in trace:
-            if access.wrong_path:
+        # Packed traces hand the loop bare column tuples; anything else
+        # is adapted through the same shape so the loop body reads one
+        # way.  No Access objects are materialized for a PackedTrace.
+        if isinstance(trace, PackedTrace):
+            records = trace.iter_tuples()
+        else:
+            records = (
+                (access.address, access.kind, access.gap, access.wrong_path)
+                for access in trace
+            )
+
+        for address, kind, gap, wrong_path in records:
+            if wrong_path:
                 # Wrong-path references disturb the caches and memory
                 # timing but never the committed instruction stream.
                 access_hierarchy(
-                    access.address >> block_bits,
-                    access.kind,
-                    window._time,
+                    address >> block_bits,
+                    kind,
+                    win_time,
                     demand=False,
                     phase=None,
                 )
                 continue
 
-            dispatch = advance(access.gap)
+            # ---- WindowModel.advance(gap), inlined ----
+            target = win_index + gap + 1
+            while win_pending and win_pending[0][0] + win_size <= target:
+                blocked_index, frontier = win_popleft()
+                reach = blocked_index + win_size
+                arrival = win_time + (reach - win_index) / win_width
+                if frontier > arrival:
+                    stall_cycles += frontier - arrival
+                    stall_events += 1
+                    if frontier - arrival >= long_stall_threshold:
+                        long_stalls += 1
+                    win_time = frontier
+                else:
+                    win_time = arrival
+                win_index = reach
+            win_time += (target - win_index) / win_width
+            win_index = target
+            dispatch = win_time
+
             if bookkeeping:
-                instr_index = window._index
+                instr_index = win_index
                 if not warm and instr_index >= warmup_instructions:
+                    # _finish_warmup snapshots the window counters, so
+                    # the hoisted state must be flushed first.
+                    window._index = win_index
+                    window._time = win_time
+                    window.stall_cycles = stall_cycles
+                    window.stall_events = stall_events
+                    window.long_stalls = long_stalls
                     self._finish_warmup(instr_index, dispatch)
                     warm = True
-                    bookkeeping = controller is not None or phase_interval
-                if controller is not None:
-                    controller.note_instructions(instr_index)
+                    bookkeeping = (
+                        clock_controller is not None or phase_interval
+                    )
+                if clock_controller is not None:
+                    clock_controller.note_instructions(instr_index)
                 if phase_interval and instr_index // phase_interval != (
                     current_phase.start_instruction // phase_interval
                 ):
@@ -444,8 +592,7 @@ class Simulator:
                     )
                     self.phases.append(current_phase)
 
-            kind = access.kind
-            block = access.address >> block_bits
+            block = address >> block_bits
 
             # ---- L1 probe and fill (SetAssociativeCache.hit_fast /
             # miss_fill for a plain tail-evicting LRU, inlined) ----
@@ -460,7 +607,13 @@ class Simulator:
                     if ways[0] is not state:
                         ways.remove(state)
                         ways.insert(0, state)
-                    complete_memory_op(dispatch + l1i_latency)
+                    # WindowModel.complete_memory_op, inlined.
+                    completion = dispatch + l1i_latency
+                    if completion > retire_cummax:
+                        retire_cummax = completion
+                    if completion > final_completion:
+                        final_completion = completion
+                    win_append((win_index, retire_cummax))
                     continue
                 l1 = l1i
                 l1_assoc = l1i_assoc
@@ -484,9 +637,22 @@ class Simulator:
                             dispatch, dispatch + l1d_latency
                         )
                         if admitted > dispatch:
-                            stall_until(admitted)
+                            # WindowModel.stall_until, inlined
+                            # (win_time == dispatch here, so the
+                            # admitted > win_time guard already held).
+                            stall_cycles += admitted - win_time
+                            stall_events += 1
+                            if admitted - win_time >= long_stall_threshold:
+                                long_stalls += 1
+                            win_time = admitted
                     else:
-                        complete_memory_op(dispatch + l1d_latency)
+                        # WindowModel.complete_memory_op, inlined.
+                        completion = dispatch + l1d_latency
+                        if completion > retire_cummax:
+                            retire_cummax = completion
+                        if completion > final_completion:
+                            final_completion = completion
+                        win_append((win_index, retire_cummax))
                     continue
                 l1 = l1d
                 l1_assoc = l1d_assoc
@@ -528,10 +694,26 @@ class Simulator:
             # observer/profiler hooks, excluded by the dispatch) ----
             set_index = block % l2_n_sets
             cache_set = l2_sets[set_index]
-            policy = (
-                l2_selector(set_index) if l2_selector is not None
-                else l2_policy
-            )
+            if l2_selector is None:
+                policy = l2_policy
+            elif sbar_fast:
+                # Inline SBARController.policy_for_set: leaders always
+                # run LIN, followers obey the PSEL MSB.
+                is_leader = set_index in sbar_leaders
+                if is_leader:
+                    policy = sbar_lin
+                elif sbar_psel.value >= sbar_psel_msb:
+                    controller.follower_lin_accesses += 1
+                    policy = sbar_lin
+                else:
+                    controller.follower_lru_accesses += 1
+                    policy = sbar_lru
+            elif cbs_fast:
+                # Inline CBSController.policy_for_set.
+                psel = cbs_psels[set_index] if cbs_local else cbs_psel0
+                policy = cbs_lin if psel.value >= cbs_psel_msb else cbs_lru
+            else:
+                policy = l2_selector(set_index)
             seq = l2._seq
             l2._seq = seq + 1
             l2.accesses += 1
@@ -548,15 +730,113 @@ class Simulator:
                 else:
                     policy.on_hit(cache_set, ways.index(state))
                 if controller is not None:
-                    scratch.hit = True
-                    scratch.state = state
-                    scratch.set_index = set_index
-                    pending = controller.observe_access(
-                        set_index, block, scratch
-                    )
-                    assert pending is None, (
-                        "controllers defer only on MTD misses"
-                    )
+                    if sbar_fast:
+                        if is_leader:
+                            # Inline SBARController.observe_access for
+                            # an MTD hit: race the ATD-LRU shadow
+                            # (SparseTagDirectory.access under plain
+                            # LRU); a divergent ATD miss credits LIN by
+                            # the MTD tag's cost_q immediately —
+                            # nothing ever defers on a hit.
+                            aseq = sbar_atd._seq
+                            sbar_atd._seq = aseq + 1
+                            sbar_atd.accesses += 1
+                            aset = sbar_atd_sets[set_index]
+                            astate = aset._index.get(block)
+                            aways = aset.ways
+                            if astate is not None:
+                                sbar_atd.hits += 1
+                                if aways[0] is not astate:
+                                    aways.remove(astate)
+                                    aways.insert(0, astate)
+                            else:
+                                sbar_atd.misses += 1
+                                astate = BlockState(block, aseq)
+                                if len(aways) >= sbar_atd_assoc:
+                                    avictim = aways.pop()
+                                    del aset._index[avictim.block]
+                                aways.insert(0, astate)
+                                aset._index[block] = astate
+                                # PolicySelector.increment(cost_q).
+                                amount = state.cost_q
+                                value = sbar_psel.value + amount
+                                if value > sbar_psel_max:
+                                    value = sbar_psel_max
+                                sbar_psel.value = value
+                                sbar_psel.increments += amount
+                    elif cbs_fast:
+                        # Inline CBSController.observe_access for an
+                        # MTD hit: race both full ATDs; every PSEL
+                        # movement and ATD-LIN cost patch resolves now
+                        # because the MTD tag supplies cost_q
+                        # (footnote 6) — nothing ever defers on a hit.
+                        aseq = atd_lru._seq
+                        atd_lru._seq = aseq + 1
+                        atd_lru.accesses += 1
+                        aset = atd_lru_sets[set_index]
+                        astate = aset._index.get(block)
+                        aways = aset.ways
+                        if astate is not None:
+                            atd_lru.hits += 1
+                            lru_hit = True
+                            if aways[0] is not astate:
+                                aways.remove(astate)
+                                aways.insert(0, astate)
+                        else:
+                            atd_lru.misses += 1
+                            lru_hit = False
+                            astate = BlockState(block, aseq)
+                            if len(aways) >= atd_lru_assoc:
+                                avictim = aways.pop()
+                                del aset._index[avictim.block]
+                            aways.insert(0, astate)
+                            aset._index[block] = astate
+                        aseq = atd_lin._seq
+                        atd_lin._seq = aseq + 1
+                        atd_lin.accesses += 1
+                        aset = atd_lin_sets[set_index]
+                        astate = aset._index.get(block)
+                        aways = aset.ways
+                        if astate is not None:
+                            atd_lin.hits += 1
+                            lin_hit = True
+                            if aways[0] is not astate:
+                                aways.remove(astate)
+                                aways.insert(0, astate)
+                        else:
+                            atd_lin.misses += 1
+                            lin_hit = False
+                            astate = BlockState(block, aseq)
+                            if len(aways) >= atd_lin_assoc:
+                                avictim = aways.pop(atd_lin_choose(aset))
+                                del aset._index[avictim.block]
+                            aways.insert(0, astate)
+                            aset._index[block] = astate
+                            astate.cost_q = state.cost_q
+                        if lin_hit != lru_hit:
+                            amount = state.cost_q
+                            if lin_hit:
+                                value = psel.value + amount
+                                if value > cbs_psel_max:
+                                    value = cbs_psel_max
+                                psel.value = value
+                                psel.increments += amount
+                            else:
+                                value = psel.value - amount
+                                if value < 0:
+                                    value = 0
+                                psel.value = value
+                                psel.decrements += amount
+                    else:
+                        scratch.hit = True
+                        scratch.state = state
+                        scratch.set_index = set_index
+                        pending = controller.observe_access(
+                            set_index, block, scratch
+                        )
+                        assert pending is None, (
+                            "controllers defer only on MTD misses"
+                        )
                 # A tag hit may still be an in-flight line
                 # (hit-under-miss): complete no earlier than the
                 # outstanding fill, without counting a merge (inline
@@ -595,19 +875,113 @@ class Simulator:
                     l2.compulsory_misses += 1
                 pending = None
                 if controller is not None:
-                    scratch.hit = False
-                    scratch.state = state
-                    scratch.set_index = set_index
-                    scratch.compulsory = compulsory
-                    if victim is not None:
-                        scratch.victim_block = victim.block
-                        scratch.victim_dirty = victim.dirty
+                    if sbar_fast:
+                        if is_leader:
+                            # Inline SBARController.observe_access for
+                            # an MTD miss: ATD-LRU hit means LRU
+                            # avoided a miss LIN incurred; its cost is
+                            # only known at service time, so the PSEL
+                            # decrement defers to the cost sink.
+                            aseq = sbar_atd._seq
+                            sbar_atd._seq = aseq + 1
+                            sbar_atd.accesses += 1
+                            aset = sbar_atd_sets[set_index]
+                            astate = aset._index.get(block)
+                            aways = aset.ways
+                            if astate is not None:
+                                sbar_atd.hits += 1
+                                if aways[0] is not astate:
+                                    aways.remove(astate)
+                                    aways.insert(0, astate)
+                                controller.deferred_updates += 1
+                                pending = sbar_psel.decrement
+                            else:
+                                sbar_atd.misses += 1
+                                astate = BlockState(block, aseq)
+                                if len(aways) >= sbar_atd_assoc:
+                                    avictim = aways.pop()
+                                    del aset._index[avictim.block]
+                                aways.insert(0, astate)
+                                aset._index[block] = astate
+                    elif cbs_fast:
+                        # Inline CBSController.observe_access for an
+                        # MTD miss: race both ATDs; a divergent outcome
+                        # defers its ±cost_q PSEL update, and an
+                        # ATD-LIN fill waits for the serviced cost_q
+                        # (CBSController._deferred).
+                        aseq = atd_lru._seq
+                        atd_lru._seq = aseq + 1
+                        atd_lru.accesses += 1
+                        aset = atd_lru_sets[set_index]
+                        astate = aset._index.get(block)
+                        aways = aset.ways
+                        if astate is not None:
+                            atd_lru.hits += 1
+                            lru_hit = True
+                            if aways[0] is not astate:
+                                aways.remove(astate)
+                                aways.insert(0, astate)
+                        else:
+                            atd_lru.misses += 1
+                            lru_hit = False
+                            astate = BlockState(block, aseq)
+                            if len(aways) >= atd_lru_assoc:
+                                avictim = aways.pop()
+                                del aset._index[avictim.block]
+                            aways.insert(0, astate)
+                            aset._index[block] = astate
+                        aseq = atd_lin._seq
+                        atd_lin._seq = aseq + 1
+                        atd_lin.accesses += 1
+                        aset = atd_lin_sets[set_index]
+                        astate = aset._index.get(block)
+                        aways = aset.ways
+                        lin_fill = None
+                        if astate is not None:
+                            atd_lin.hits += 1
+                            lin_hit = True
+                            if aways[0] is not astate:
+                                aways.remove(astate)
+                                aways.insert(0, astate)
+                        else:
+                            atd_lin.misses += 1
+                            lin_hit = False
+                            astate = BlockState(block, aseq)
+                            if len(aways) >= atd_lin_assoc:
+                                avictim = aways.pop(atd_lin_choose(aset))
+                                del aset._index[avictim.block]
+                            aways.insert(0, astate)
+                            aset._index[block] = astate
+                            lin_fill = astate
+                        psel_update = None
+                        if lin_hit != lru_hit:
+                            psel_update = (
+                                psel.increment if lin_hit
+                                else psel.decrement
+                            )
+                        if psel_update is not None or lin_fill is not None:
+                            controller.deferred_updates += 1
+
+                            def pending(cost_q, _fill=lin_fill,
+                                        _update=psel_update):
+                                if _fill is not None:
+                                    _fill.cost_q = cost_q
+                                if _update is not None:
+                                    _update(cost_q)
                     else:
-                        scratch.victim_block = None
-                        scratch.victim_dirty = False
-                    pending = controller.observe_access(
-                        set_index, block, scratch
-                    )
+                        scratch.hit = False
+                        scratch.state = state
+                        scratch.set_index = set_index
+                        scratch.compulsory = compulsory
+                        if victim is not None:
+                            scratch.victim_block = victim.block
+                            scratch.victim_dirty = victim.dirty
+                        else:
+                            scratch.victim_block = None
+                            scratch.victim_dirty = False
+                        pending = controller.observe_access(
+                            set_index, block, scratch
+                        )
                 if victim is not None:
                     victim_block = victim.block
                     if victim.dirty:
@@ -744,10 +1118,29 @@ class Simulator:
             if is_store:
                 admitted = store_admit(dispatch, completion)
                 if admitted > dispatch:
-                    stall_until(admitted)
+                    # WindowModel.stall_until, inlined (win_time ==
+                    # dispatch here).
+                    stall_cycles += admitted - win_time
+                    stall_events += 1
+                    if admitted - win_time >= long_stall_threshold:
+                        long_stalls += 1
+                    win_time = admitted
             else:
-                complete_memory_op(completion)
+                # WindowModel.complete_memory_op, inlined.
+                if completion > retire_cummax:
+                    retire_cummax = completion
+                if completion > final_completion:
+                    final_completion = completion
+                win_append((win_index, retire_cummax))
 
+        # Hand the hoisted window state back for finish()/_finalize.
+        window._index = win_index
+        window._time = win_time
+        window._retire_cummax = retire_cummax
+        window.final_completion = final_completion
+        window.stall_cycles = stall_cycles
+        window.stall_events = stall_events
+        window.long_stalls = long_stalls
         mshr.drain()
         return current_phase
 

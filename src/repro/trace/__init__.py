@@ -13,6 +13,7 @@ from repro.trace.record import (
     Access,
     Trace,
     kind_name,
+    validate_access_fields,
 )
 from repro.trace.synthetic import (
     TraceBuilder,
@@ -22,11 +23,14 @@ from repro.trace.synthetic import (
     strided_stream,
 )
 from repro.trace.figure1 import figure1_trace, FIGURE1_BLOCKS
-from repro.trace.trace_io import load_trace, save_trace
+from repro.trace.packed import PackedTrace, pack_trace
+from repro.trace.trace_io import load_packed_trace, load_trace, save_trace
 
 __all__ = [
     "Access",
     "Trace",
+    "PackedTrace",
+    "pack_trace",
     "LOAD",
     "STORE",
     "IFETCH",
@@ -40,4 +44,6 @@ __all__ = [
     "FIGURE1_BLOCKS",
     "save_trace",
     "load_trace",
+    "load_packed_trace",
+    "validate_access_fields",
 ]

@@ -1,0 +1,277 @@
+"""Packed column-oriented traces.
+
+A list of :class:`~repro.trace.record.Access` objects costs one Python
+object (plus four boxed attributes) per record; at the 10\\ :sup:`5`\\ –
+10\\ :sup:`6` records the macro benchmarks replay, the allocator traffic
+and per-record attribute loads are a measurable slice of kernel time,
+and the resident footprint is ~10x the information content.
+:class:`PackedTrace` stores the same records as four parallel columns —
+the object-vs-column tradeoff trace tools resolve the same way:
+
+* ``address`` — signed 64-bit :mod:`array` column (``"q"``),
+* ``kind`` — signed 8-bit column (``"b"``),
+* ``gap`` — signed 64-bit column (``"q"``; gaps are unbounded because
+  :meth:`TraceBuilder.quiet` can inflate them arbitrarily),
+* wrong-path — a bit per record in a :class:`bytearray` bitset
+  (LSB-first within each byte).
+
+The packed form is a drop-in sequence of ``Access`` objects
+(``__iter__``/``__getitem__``/``__len__`` materialize records lazily),
+so the generic simulator loop and every analysis helper accept it
+unchanged.  The fused replay loop instead consumes
+:meth:`iter_tuples`, which yields plain ``(address, kind, gap,
+wrong_path)`` tuples straight off the columns without building a single
+``Access``.
+
+Validation is *bulk*: :meth:`from_accesses` checks whole columns with
+C-speed ``min``/``set`` reductions instead of three compares per record
+(see :func:`repro.trace.record.validate_access_fields`).
+
+:meth:`content_digest` hashes a canonical little-endian serialization
+of the columns, so two traces with equal records digest identically on
+any host — the persistent store and the bench ``--check`` mode key on
+this.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from hashlib import sha256
+from itertools import repeat
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.trace.record import IFETCH, LOAD, STORE, Access, Trace
+
+#: Bump when the canonical digest serialization changes.
+DIGEST_FORMAT = "repro.trace.packed/v1"
+
+_VALID_KINDS = frozenset((LOAD, STORE, IFETCH))
+
+
+def _canonical_bytes(column: array) -> bytes:
+    """Column bytes in little-endian order regardless of host."""
+    if sys.byteorder == "big":
+        column = array(column.typecode, column)
+        column.byteswap()
+    return column.tobytes()
+
+
+class PackedTrace:
+    """An immutable-by-convention trace stored as parallel columns.
+
+    Build one with :meth:`from_accesses`; mutating the underlying
+    columns afterwards invalidates the cached digest and is not
+    supported.
+    """
+
+    __slots__ = (
+        "_addresses", "_kinds", "_gaps", "_wrong_bits", "_n_wrong",
+        "_wrong_flags", "_digest",
+    )
+
+    def __init__(
+        self,
+        addresses: array,
+        kinds: array,
+        gaps: array,
+        wrong_bits: bytearray,
+        n_wrong: int,
+    ) -> None:
+        if not (len(addresses) == len(kinds) == len(gaps)):
+            raise ValueError("column lengths disagree")
+        if len(wrong_bits) != (len(addresses) + 7) // 8:
+            raise ValueError("wrong-path bitset has the wrong size")
+        self._addresses = addresses
+        self._kinds = kinds
+        self._gaps = gaps
+        self._wrong_bits = wrong_bits
+        self._n_wrong = n_wrong
+        self._wrong_flags = None
+        self._digest = None
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Access]) -> "PackedTrace":
+        """Pack a sequence of ``Access`` records into columns.
+
+        Field validation is performed on the finished columns in bulk
+        (O(n) C-level reductions), not per record.
+        """
+        if not isinstance(accesses, Sequence):
+            accesses = list(accesses)
+        n = len(accesses)
+        addresses = array("q")
+        kinds = array("b")
+        gaps = array("q")
+        wrong_bits = bytearray((n + 7) // 8)
+        n_wrong = 0
+        append_address = addresses.append
+        append_kind = kinds.append
+        append_gap = gaps.append
+        for index, access in enumerate(accesses):
+            append_address(access.address)
+            append_kind(access.kind)
+            append_gap(access.gap)
+            if access.wrong_path:
+                wrong_bits[index >> 3] |= 1 << (index & 7)
+                n_wrong += 1
+        packed = cls(addresses, kinds, gaps, wrong_bits, n_wrong)
+        packed.validate()
+        return packed
+
+    def validate(self) -> None:
+        """Bulk-validate the columns (C-level reductions, O(n) total).
+
+        Raises :exc:`ValueError` on any field no ``Access`` may carry —
+        the columnar equivalent of
+        :func:`repro.trace.record.validate_access_fields`.
+        """
+        if not self._addresses:
+            return
+        if min(self._addresses) < 0:
+            raise ValueError("addresses must be non-negative")
+        if min(self._gaps) < 0:
+            raise ValueError("gaps must be non-negative")
+        bad_kinds = set(self._kinds) - _VALID_KINDS
+        if bad_kinds:
+            raise ValueError("unknown access kinds %r" % sorted(bad_kinds))
+
+    def to_accesses(self) -> Trace:
+        """Materialize the packed records back into ``Access`` objects."""
+        return list(self)
+
+    # -- sequence protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def wrong_path(self, index: int) -> bool:
+        """Whether record ``index`` (non-negative) is wrong-path."""
+        return bool(self._wrong_bits[index >> 3] >> (index & 7) & 1)
+
+    @property
+    def wrong_path_count(self) -> int:
+        """Number of wrong-path records in the trace."""
+        return self._n_wrong
+
+    def __getitem__(self, index: int) -> Access:
+        if not isinstance(index, int):
+            raise TypeError("PackedTrace indices must be integers")
+        n = len(self._addresses)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("trace index out of range")
+        return Access(
+            self._addresses[index],
+            self._kinds[index],
+            self._gaps[index],
+            self.wrong_path(index),
+        )
+
+    def __iter__(self) -> Iterator[Access]:
+        for address, kind, gap, wrong in self.iter_tuples():
+            yield Access(address, kind, gap, bool(wrong))
+
+    def iter_tuples(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate ``(address, kind, gap, wrong_path)`` tuples.
+
+        This is the fused replay loop's input: no ``Access`` objects
+        are materialized.  ``wrong_path`` is a truthy/falsy int.  When
+        the trace has no wrong-path records (the common case) the flag
+        column is a constant zero stream rather than an expanded
+        bitset.
+        """
+        if self._n_wrong == 0:
+            flags: Iterable[int] = repeat(0)
+        else:
+            flags = self._expand_wrong_flags()
+        return zip(self._addresses, self._kinds, self._gaps, flags)
+
+    def _expand_wrong_flags(self) -> array:
+        """Expand the bitset into a cached byte-per-record flag column."""
+        flags = self._wrong_flags
+        if flags is None:
+            bits = self._wrong_bits
+            flags = array(
+                "b",
+                (
+                    bits[index >> 3] >> (index & 7) & 1
+                    for index in range(len(self._addresses))
+                ),
+            )
+            self._wrong_flags = flags
+        return flags
+
+    # -- identity -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return (
+            self._addresses == other._addresses
+            and self._kinds == other._kinds
+            and self._gaps == other._gaps
+            and self._wrong_bits == other._wrong_bits
+        )
+
+    def content_digest(self) -> str:
+        """Deterministic hex digest of the trace content.
+
+        The digest covers a canonical little-endian serialization of
+        every column plus the record count, so it is stable across
+        hosts, byte orders, and Python versions; equal record sequences
+        always digest equally.
+        """
+        digest = self._digest
+        if digest is None:
+            hasher = sha256()
+            hasher.update(DIGEST_FORMAT.encode("ascii"))
+            hasher.update(len(self._addresses).to_bytes(8, "little"))
+            hasher.update(_canonical_bytes(self._addresses))
+            hasher.update(_canonical_bytes(self._kinds))
+            hasher.update(_canonical_bytes(self._gaps))
+            hasher.update(bytes(self._wrong_bits))
+            digest = hasher.hexdigest()
+            self._digest = digest
+        return digest
+
+    # -- accounting ---------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed columns (not counting Python
+        object headers)."""
+        return (
+            self._addresses.itemsize * len(self._addresses)
+            + self._kinds.itemsize * len(self._kinds)
+            + self._gaps.itemsize * len(self._gaps)
+            + len(self._wrong_bits)
+        )
+
+    def total_instructions(self) -> int:
+        """Dynamic instructions the trace represents (column-speed
+        version of :func:`repro.trace.record.total_instructions`)."""
+        total = sum(self._gaps) + len(self._gaps)
+        if self._n_wrong:
+            for index in range(len(self._addresses)):
+                if self._wrong_bits[index >> 3] >> (index & 7) & 1:
+                    total -= self._gaps[index] + 1
+        return total
+
+    def __repr__(self) -> str:
+        return "PackedTrace(%d records, %d wrong-path, %d bytes)" % (
+            len(self._addresses), self._n_wrong, self.nbytes
+        )
+
+
+def pack_trace(trace) -> PackedTrace:
+    """Coerce ``trace`` to a :class:`PackedTrace` (no-op when packed)."""
+    if isinstance(trace, PackedTrace):
+        return trace
+    return PackedTrace.from_accesses(trace)
+
+
+__all__ = ["PackedTrace", "pack_trace", "DIGEST_FORMAT"]

@@ -26,6 +26,24 @@ def kind_name(kind: int) -> str:
     return _KIND_NAMES[kind]
 
 
+def validate_access_fields(address: int, kind: int, gap: int) -> None:
+    """Reject field values no :class:`Access` may carry.
+
+    Validation lives here — not in ``Access.__init__`` — so the bulk
+    synthesis paths (:class:`~repro.trace.synthetic.TraceBuilder`, the
+    surrogate engine, :meth:`~repro.trace.packed.PackedTrace.from_accesses`)
+    pay for it once per entry point instead of once per record.
+    Anything that accepts records from *outside* the package (builders,
+    file loaders, packed-column construction) must call it.
+    """
+    if gap < 0:
+        raise ValueError("gap must be non-negative, got %d" % gap)
+    if kind not in _KIND_NAMES:
+        raise ValueError("unknown access kind %r" % (kind,))
+    if address < 0:
+        raise ValueError("address must be non-negative, got %d" % address)
+
+
 class Access:
     """One memory access in program order.
 
@@ -37,6 +55,11 @@ class Access:
         wrong_path: whether the access was issued down a mispredicted
             path.  Wrong-path accesses occupy memory-system resources but
             are excluded from demand-miss accounting (Section 3.1).
+
+    The constructor is deliberately bare assignment: traces run to
+    hundreds of thousands of records and the synthesis loops construct
+    one ``Access`` each, so field validation happens at the trace entry
+    points via :func:`validate_access_fields` instead of per record.
     """
 
     __slots__ = ("gap", "kind", "address", "wrong_path")
@@ -48,12 +71,6 @@ class Access:
         gap: int = 0,
         wrong_path: bool = False,
     ) -> None:
-        if gap < 0:
-            raise ValueError("gap must be non-negative, got %d" % gap)
-        if kind not in _KIND_NAMES:
-            raise ValueError("unknown access kind %r" % (kind,))
-        if address < 0:
-            raise ValueError("address must be non-negative, got %d" % address)
         self.address = address
         self.kind = kind
         self.gap = gap

@@ -21,7 +21,13 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
-from repro.trace.record import LOAD, STORE, Access, Trace
+from repro.trace.record import (
+    LOAD,
+    STORE,
+    Access,
+    Trace,
+    validate_access_fields,
+)
 
 #: Gap large enough that the previous miss has left the instruction
 #: window before the next access dispatches (window is 128).
@@ -56,9 +62,11 @@ class TraceBuilder:
         """Append one access to cache block number ``block``.
 
         Any instructions queued with :meth:`quiet` are folded into this
-        access's gap.
+        access's gap.  Field validation happens here (the builder is a
+        trace entry point); ``Access`` itself no longer validates.
         """
         gap += self._pending_gap
+        validate_access_fields(block * self.line_bytes, kind, gap)
         self._pending_gap = 0
         self._trace.append(
             Access(block * self.line_bytes, kind, gap, wrong_path)

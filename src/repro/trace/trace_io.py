@@ -9,10 +9,12 @@ plus a format version.
 
 from __future__ import annotations
 
+from array import array
 from typing import List
 
 import numpy as np
 
+from repro.trace.packed import PackedTrace
 from repro.trace.record import Access, Trace
 
 #: Bump when the on-disk layout changes.
@@ -20,7 +22,11 @@ FORMAT_VERSION = 1
 
 
 def save_trace(path: str, trace: Trace) -> None:
-    """Write a trace to ``path`` (numpy .npz, compressed)."""
+    """Write a trace to ``path`` (numpy .npz, compressed).
+
+    Accepts any iterable of ``Access`` records, including a
+    :class:`~repro.trace.packed.PackedTrace`.
+    """
     addresses = np.fromiter(
         (access.address for access in trace), dtype=np.int64, count=len(trace)
     )
@@ -43,8 +49,8 @@ def save_trace(path: str, trace: Trace) -> None:
     )
 
 
-def load_trace(path: str) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def _load_columns(path: str):
+    """Read and version-check the four parallel columns of a trace file."""
     with np.load(path) as data:
         version = int(data["version"])
         if version != FORMAT_VERSION:
@@ -52,10 +58,12 @@ def load_trace(path: str) -> Trace:
                 "trace file %s has format version %d; this build reads %d"
                 % (path, version, FORMAT_VERSION)
             )
-        addresses = data["address"]
-        kinds = data["kind"]
-        gaps = data["gap"]
-        wrong = data["wrong_path"]
+        return data["address"], data["kind"], data["gap"], data["wrong_path"]
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    addresses, kinds, gaps, wrong = _load_columns(path)
     trace: List[Access] = []
     for index in range(len(addresses)):
         trace.append(
@@ -67,3 +75,29 @@ def load_trace(path: str) -> Trace:
             )
         )
     return trace
+
+
+def load_packed_trace(path: str) -> PackedTrace:
+    """Read a trace file straight into a :class:`PackedTrace`.
+
+    The on-disk layout is already columnar, so the columns transfer
+    without materializing a single ``Access``.  Files come from outside
+    the package, so the packed constructor path re-validates the
+    columns in bulk.
+    """
+    addresses, kinds, gaps, wrong = _load_columns(path)
+    n = len(addresses)
+    wrong_bits = bytearray((n + 7) // 8)
+    n_wrong = 0
+    for index in np.flatnonzero(wrong):
+        wrong_bits[index >> 3] |= 1 << (index & 7)
+        n_wrong += 1
+    packed = PackedTrace(
+        array("q", addresses.astype(np.int64).tolist()),
+        array("b", kinds.astype(np.int8).tolist()),
+        array("q", gaps.astype(np.int64).tolist()),
+        wrong_bits,
+        n_wrong,
+    )
+    packed.validate()
+    return packed

@@ -1,6 +1,7 @@
 """Tests for the ``repro.bench`` harness (smoke-sized runs only)."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -51,10 +52,25 @@ class TestMacro:
             assert entry["result"]["cycles"] > 0
             assert entry["result"]["demand_misses"] > 0
 
+    def test_cells_record_fused_flag_and_scale(self):
+        entries = run_macro(quick=True, workloads=("mcf",),
+                            policies=("lru", "sbar"))
+        for entry in entries:
+            # Quick mode pins scale to 0.05; the recorded value must be
+            # the *effective* scale so --check can rebuild the trace.
+            assert entry["scale"] == 0.05
+            # Stock configs all qualify for the fused loop (including
+            # the sbar dueling fast path); a False here means the
+            # optimization silently regressed.
+            assert entry["fused"] is True, entry["policy"]
+
     def test_default_matrix_names_are_valid(self):
         from repro.workloads.spec2000 import BENCHMARKS
         assert set(MACRO_WORKLOADS) <= set(BENCHMARKS)
         assert "lru" in MACRO_POLICIES
+        assert "sbar" in MACRO_POLICIES
+        assert "cbs-local" in MACRO_POLICIES
+        assert "cbs-global" in MACRO_POLICIES
 
 
 class TestReport:
@@ -95,3 +111,89 @@ class TestCli:
         validate_report(report)
         assert report["tag"] == "ci"
         assert "accesses/s" in capsys.readouterr().out
+
+    def test_refuses_to_overwrite_without_force(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_base.json"
+        out.write_text("{\"precious\": \"baseline\"}\n")
+        code = bench_main(["--quick", "--tag", "base", "--out", str(out)])
+        assert code == 2
+        # The committed baseline must be untouched, and the refusal has
+        # to happen *before* any benchmark runs (no timing output).
+        assert json.loads(out.read_text()) == {"precious": "baseline"}
+        captured = capsys.readouterr()
+        assert "--force" in captured.err
+        assert "accesses/s" not in captured.out
+
+    def test_force_overwrites(self, tmp_path):
+        out = tmp_path / "BENCH_base.json"
+        out.write_text("{\"precious\": \"baseline\"}\n")
+        code = bench_main(
+            ["--quick", "--tag", "base", "--out", str(out), "--force"]
+        )
+        assert code == 0
+        validate_report(json.loads(out.read_text()))
+
+    def test_default_out_path_is_guarded_too(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_local.json").write_text("{}\n")
+        assert bench_main(["--quick"]) == 2
+        assert "--force" in capsys.readouterr().err
+
+
+class TestCheckMode:
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_check.json"
+        assert bench_main(
+            ["--quick", "--tag", "check", "--out", str(out)]
+        ) == 0
+        return out
+
+    def test_check_passes_on_fresh_report(self, report_path, capsys):
+        code = bench_main(
+            ["--check", str(report_path), "--cell", "mcf/sbar"]
+        )
+        assert code == 0
+        assert "OK: mcf/sbar" in capsys.readouterr().out
+
+    def test_check_fails_on_tampered_result(self, report_path, tmp_path,
+                                            capsys):
+        report = json.loads(report_path.read_text())
+        for entry in report["macro"]:
+            if entry["workload"] == "mcf" and entry["policy"] == "sbar":
+                entry["result"]["l2_misses"] += 1
+        tampered = tmp_path / "BENCH_tampered.json"
+        tampered.write_text(json.dumps(report))
+        code = bench_main(["--check", str(tampered), "--cell", "mcf/sbar"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "l2_misses" in err
+
+    def test_check_unknown_cell_fails(self, report_path, capsys):
+        code = bench_main(
+            ["--check", str(report_path), "--cell", "mcf/nonesuch"]
+        )
+        assert code == 1
+        assert "no macro cell" in capsys.readouterr().err
+
+    def test_check_rejects_malformed_cell_spec(self, report_path, capsys):
+        code = bench_main(
+            ["--check", str(report_path), "--cell", "justoneword"]
+        )
+        assert code == 2
+        assert "WORKLOAD/POLICY" in capsys.readouterr().err
+
+    def test_check_requires_cell(self, report_path):
+        with pytest.raises(SystemExit):
+            bench_main(["--check", str(report_path)])
+
+    def test_committed_baseline_cell_verifies(self):
+        # The exact check CI runs: re-simulate mcf/sbar at the
+        # committed baseline's recorded scale and compare the
+        # machine-independent result fields.
+        baseline = pathlib.Path(__file__).resolve().parent.parent / (
+            "BENCH_pr4.json"
+        )
+        code = bench_main(["--check", str(baseline), "--cell", "mcf/sbar"])
+        assert code == 0

@@ -13,6 +13,9 @@ The PR 3 speedup rests on three load-bearing invariants:
 import random
 from unittest import mock
 
+import pytest
+
+from repro import obs
 from repro.cache.block import BlockState
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.replacement.base import ReplacementPolicy
@@ -21,6 +24,7 @@ from repro.cache.replacement.lru import LRUPolicy
 from repro.cache.sets import CacheSet
 from repro.config import CacheGeometry
 from repro.sim.simulator import Simulator
+from repro.trace.packed import pack_trace
 from repro.workloads import build_trace, experiment_config
 
 
@@ -178,6 +182,7 @@ class TestFusedReplayDifferential:
             ) as fused_spy:
                 fused = fused_sim.run(trace)
             assert fused_spy.called, policy  # really took the fused loop
+            assert fused_sim.fused_replay, policy
             generic_sim = Simulator(experiment_config(), policy)
             # An instance-level ``access`` binding makes the L2 fail
             # ``is_plain`` and forces _replay down the generic loop
@@ -186,4 +191,109 @@ class TestFusedReplayDifferential:
                 generic_sim.l2
             )
             generic = generic_sim.run(trace)
+            assert not generic_sim.fused_replay, policy
             assert fused.to_dict() == generic.to_dict(), policy
+
+
+def controller_fingerprint(controller):
+    """Every externally visible dueling-controller counter.
+
+    The fused fast paths must leave SBAR/CBS in *exactly* the state the
+    method-call path leaves them in — not just produce equal SimResults
+    — or a later epoch/report would diverge.
+    """
+    fingerprint = {"deferred_updates": controller.deferred_updates}
+    for name in ("atd_lru", "atd_lin"):
+        atd = getattr(controller, name, None)
+        if atd is not None:
+            fingerprint[name] = (
+                atd.accesses, atd.hits, atd.misses, atd._seq,
+                {index: atd.set_state(index).snapshot()
+                 for index in sorted(atd._sets)},
+            )
+    psels = getattr(controller, "_psels", None)
+    if psels is None:
+        psels = [controller.psel]
+    fingerprint["psels"] = [
+        (psel.value, psel.increments, psel.decrements) for psel in psels
+    ]
+    for name in ("follower_lin_accesses", "follower_lru_accesses"):
+        if hasattr(controller, name):
+            fingerprint[name] = getattr(controller, name)
+    return fingerprint
+
+
+class TestDuelingFastPathDifferential:
+    """The PR 4 dueling fast paths: SBAR/CBS inlined into the fused loop.
+
+    Matrix required by the issue: {sbar, cbs-local, cbs-global} ×
+    {packed trace, Access list} × {observer off, observer on}, always
+    compared against the generic per-call loop — results *and*
+    controller state bit-identical.
+    """
+
+    DUELING = ("sbar", "cbs-local", "cbs-global")
+
+    @staticmethod
+    def _generic_run(policy, trace):
+        sim = Simulator(experiment_config(), policy)
+        sim.l2.access = SetAssociativeCache.access.__get__(sim.l2)
+        result = sim.run(trace)
+        assert not sim.fused_replay
+        return sim, result
+
+    @pytest.mark.parametrize("policy", DUELING)
+    def test_fast_path_matches_generic(self, policy):
+        trace = build_trace("mcf", scale=0.05)
+        fused_sim = Simulator(experiment_config(), policy)
+        fused = fused_sim.run(pack_trace(trace))
+        assert fused_sim.fused_replay, policy
+        generic_sim, generic = self._generic_run(policy, trace)
+        assert fused.to_dict() == generic.to_dict(), policy
+        assert (controller_fingerprint(fused_sim.controller)
+                == controller_fingerprint(generic_sim.controller)), policy
+
+    @pytest.mark.parametrize("policy", DUELING)
+    def test_list_and_packed_traces_agree(self, policy):
+        trace = build_trace("art", scale=0.05)
+        on_list = Simulator(experiment_config(), policy).run(trace)
+        on_packed = Simulator(experiment_config(), policy).run(
+            pack_trace(trace)
+        )
+        assert on_list.to_dict() == on_packed.to_dict(), policy
+
+    @pytest.mark.parametrize("policy", DUELING)
+    def test_observer_forces_generic_loop_same_results(self, policy):
+        trace = build_trace("mcf", scale=0.05)
+        observed_sim = Simulator(
+            experiment_config(), policy,
+            observer=obs.Observer(events=obs.MemoryEventTrace()),
+        )
+        observed = observed_sim.run(pack_trace(trace))
+        # An observer must disable the fused loop entirely...
+        assert not observed_sim.fused_replay, policy
+        plain_sim = Simulator(experiment_config(), policy)
+        plain = plain_sim.run(trace)
+        assert plain_sim.fused_replay, policy
+        # ...without changing a single simulated number.
+        assert observed.to_dict() == plain.to_dict(), policy
+        assert (controller_fingerprint(observed_sim.controller)
+                == controller_fingerprint(plain_sim.controller)), policy
+
+    def test_patched_controller_declines_fast_path_but_matches(self):
+        trace = build_trace("mcf", scale=0.05)
+        patched_sim = Simulator(experiment_config(), "sbar")
+        controller = patched_sim.controller
+        # attach-style instrumentation rebinds the bound method on the
+        # instance; the dueling fast path must stand down to the
+        # per-call controller path (the loop itself stays fused).
+        controller.observe_access = type(controller).observe_access.__get__(
+            controller
+        )
+        patched = patched_sim.run(pack_trace(trace))
+        assert patched_sim.fused_replay
+        plain_sim = Simulator(experiment_config(), "sbar")
+        plain = plain_sim.run(trace)
+        assert patched.to_dict() == plain.to_dict()
+        assert (controller_fingerprint(patched_sim.controller)
+                == controller_fingerprint(plain_sim.controller))

@@ -11,7 +11,8 @@ import pytest
 
 from repro.config import scaled_config
 from repro.sim.parallel import Task, run_grid
-from repro.sim.runner import clear_cache, run_policy
+from repro.sim import runner
+from repro.sim.runner import clear_cache, packed_trace, run_policy
 from repro.sim.store import ResultStore, default_store, store_key
 from repro.sim.suite import EXPORT_FIELDS, SuiteResult, run_suite
 from repro.workloads import experiment_config
@@ -38,6 +39,39 @@ def assert_results_identical(first, second):
         second.cost_distribution.cost_sum
     )
     assert first.delta_summary == second.delta_summary
+
+
+class TestTraceMemo:
+    def test_same_object_served_per_process(self):
+        first = packed_trace("lucas", scale=SCALE)
+        assert packed_trace("lucas", scale=SCALE) is first
+        assert packed_trace("lucas", scale=2 * SCALE) is not first
+
+    def test_memo_matches_direct_build(self):
+        from repro.trace.packed import pack_trace
+        from repro.workloads import build_trace
+
+        memoized = packed_trace("lucas", scale=SCALE)
+        direct = pack_trace(build_trace("lucas", scale=SCALE))
+        assert memoized == direct
+        assert memoized.content_digest() == direct.content_digest()
+
+    def test_bounded_and_cleared(self):
+        packed_trace("lucas", scale=SCALE)
+        assert runner._TRACE_CACHE
+        # Fill past the bound with distinct scales of one tiny workload;
+        # the cache must never exceed TRACE_CACHE_MAX entries.
+        for step in range(runner.TRACE_CACHE_MAX + 3):
+            packed_trace("lucas", scale=SCALE * (1 + step) / 7)
+            assert len(runner._TRACE_CACHE) <= runner.TRACE_CACHE_MAX
+        clear_cache()
+        assert not runner._TRACE_CACHE
+
+    def test_run_policy_reuses_the_memoized_trace(self):
+        before = runner._MEMO_HITS["trace_builds"]
+        run_policy("lucas", "lru", scale=SCALE)
+        run_policy("lucas", "lin(4)", scale=SCALE)
+        assert runner._MEMO_HITS["trace_builds"] == before + 1
 
 
 class TestParallelEqualsSerial:

@@ -3,6 +3,7 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.trace.figure1 import (
     FIGURE1_BLOCKS,
@@ -18,7 +19,9 @@ from repro.trace.record import (
     kind_name,
     memory_footprint_blocks,
     total_instructions,
+    validate_access_fields,
 )
+from repro.trace.packed import PackedTrace, pack_trace
 from repro.trace.synthetic import (
     BURST_GAP,
     ISOLATING_GAP,
@@ -40,16 +43,25 @@ class TestAccess:
         assert not access.wrong_path
 
     def test_rejects_negative_gap(self):
+        # Validation lives at the trace entry points now, not in the
+        # Access constructor (bulk synthesis pays it once per record
+        # otherwise).
         with pytest.raises(ValueError):
-            Access(0, LOAD, gap=-1)
+            TraceBuilder().access(0, LOAD, gap=-1)
+        with pytest.raises(ValueError):
+            validate_access_fields(0, LOAD, -1)
 
     def test_rejects_bad_kind(self):
         with pytest.raises(ValueError):
-            Access(0, kind=99)
+            TraceBuilder().access(0, kind=99)
+        with pytest.raises(ValueError):
+            validate_access_fields(0, 99, 0)
 
     def test_rejects_negative_address(self):
         with pytest.raises(ValueError):
-            Access(-64)
+            TraceBuilder().access(-1)
+        with pytest.raises(ValueError):
+            validate_access_fields(-64, LOAD, 0)
 
     def test_equality(self):
         assert Access(64, LOAD, 3) == Access(64, LOAD, 3)
@@ -146,6 +158,94 @@ class TestGenerators:
         trace = [Access(0), Access(64)]
         assert len(repeat_trace(trace, 3)) == 6
         assert repeat_trace(trace, 0) == []
+
+
+def _packable_accesses():
+    """Arbitrary valid records, including wrong-path bits and big gaps."""
+    return st.lists(
+        st.builds(
+            Access,
+            st.integers(min_value=0, max_value=2**62),
+            st.sampled_from([LOAD, STORE, IFETCH]),
+            st.integers(min_value=0, max_value=10**9),
+            st.booleans(),
+        ),
+        max_size=150,
+    )
+
+
+class TestPackedTrace:
+    @settings(max_examples=120, deadline=None)
+    @given(accesses=_packable_accesses())
+    def test_roundtrip_is_exact(self, accesses):
+        packed = PackedTrace.from_accesses(accesses)
+        assert len(packed) == len(accesses)
+        # Exact record-for-record round trip: addresses, kinds, gaps,
+        # AND wrong-path bits (Access.__eq__ compares all four).
+        assert packed.to_accesses() == accesses
+        assert packed.wrong_path_count == sum(
+            1 for a in accesses if a.wrong_path
+        )
+        for index, access in enumerate(accesses):
+            assert packed[index] == access
+            assert packed.wrong_path(index) == access.wrong_path
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=_packable_accesses())
+    def test_iter_tuples_matches_records(self, accesses):
+        packed = PackedTrace.from_accesses(accesses)
+        tuples = list(packed.iter_tuples())
+        assert len(tuples) == len(accesses)
+        for (address, kind, gap, wrong), access in zip(tuples, accesses):
+            assert (address, kind, gap, bool(wrong)) == (
+                access.address, access.kind, access.gap, access.wrong_path
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=_packable_accesses())
+    def test_digest_depends_only_on_content(self, accesses):
+        first = PackedTrace.from_accesses(accesses)
+        second = PackedTrace.from_accesses(list(accesses))
+        assert first == second
+        assert first.content_digest() == second.content_digest()
+        assert first.total_instructions() == sum(
+            a.gap + 1 for a in accesses if not a.wrong_path
+        )
+
+    def test_digest_sees_wrong_path_bits(self):
+        plain = PackedTrace.from_accesses([Access(64, LOAD, 3)])
+        flagged = PackedTrace.from_accesses(
+            [Access(64, LOAD, 3, wrong_path=True)]
+        )
+        assert plain != flagged
+        assert plain.content_digest() != flagged.content_digest()
+
+    def test_negative_indexing_and_bounds(self):
+        packed = PackedTrace.from_accesses([Access(0), Access(64)])
+        assert packed[-1] == Access(64)
+        with pytest.raises(IndexError):
+            packed[2]
+        with pytest.raises(TypeError):
+            packed["0"]
+
+    def test_bulk_validation_rejects_bad_columns(self):
+        with pytest.raises(ValueError):
+            PackedTrace.from_accesses([Access(-64)])
+        with pytest.raises(ValueError):
+            PackedTrace.from_accesses([Access(0, LOAD, -1)])
+        with pytest.raises(ValueError):
+            PackedTrace.from_accesses([Access(0, 17)])
+
+    def test_pack_trace_is_idempotent(self):
+        packed = pack_trace([Access(0), Access(64)])
+        assert pack_trace(packed) is packed
+
+    def test_empty_trace(self):
+        packed = PackedTrace.from_accesses([])
+        assert len(packed) == 0
+        assert packed.to_accesses() == []
+        assert packed.total_instructions() == 0
+        packed.validate()  # empty columns are trivially valid
 
 
 class TestFigure1:
