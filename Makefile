@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-pytest suite experiments experiments-fast examples lint clean
+.PHONY: install test bench bench-quick bench-pytest suite chaos experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,12 @@ bench-pytest:
 suite:
 	$(PYTHON) -m repro.sim.suite --policies "lru,lin(4)" \
 		--benchmarks mcf,art --workers 2 --scale 0.25 --progress
+
+# Seeded chaos differential (also run by CI): injected crashes, delays,
+# and store corruption must not change the suite's content digest.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.sim.chaos --scale 0.25 --workers 2
+	PYTHONPATH=src $(PYTHON) -m repro.sim.chaos --scale 0.25 --workers 2 --hard
 
 # Full-scale regeneration of every table and figure (~10 minutes).
 experiments:

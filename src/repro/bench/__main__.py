@@ -30,6 +30,7 @@ from repro.bench.report import (
     check_macro_cell,
     validate_report,
 )
+from repro.sim import common_cli
 
 
 def _check_mode(report_path: str, cell: str) -> int:
@@ -58,7 +59,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Measure simulation-kernel performance and write a "
-        "BENCH_<tag>.json report.",
+        "BENCH_<tag>.json report.  Accepts the shared execution/"
+        "telemetry flags for CLI uniformity; timings are only "
+        "meaningful serially, so --workers/--resume/--max-retries/"
+        "--deadline are ignored here, and enabling telemetry disables "
+        "the fused fast path (timings will not be comparable).",
+        parents=[common_cli.execution_parent(),
+                 common_cli.telemetry_parent()],
     )
     parser.add_argument(
         "--out", default=None,
@@ -95,6 +102,27 @@ def main(argv=None) -> int:
         help="macro cell to verify in --check mode, e.g. mcf/sbar",
     )
     args = parser.parse_args(argv)
+
+    common_cli.apply_telemetry(args)
+    if args.metrics_out or args.trace_events:
+        print(
+            "note: telemetry disables the fused replay loop; timings in "
+            "this report are not comparable to baselines",
+            file=sys.stderr,
+        )
+    ignored = [
+        flag for flag, value in (
+            ("--workers", args.workers), ("--resume", args.resume),
+            ("--max-retries", args.max_retries),
+            ("--deadline", args.deadline), ("--chaos", args.chaos),
+        ) if value
+    ]
+    if ignored:
+        print(
+            "note: bench always runs serially; ignoring %s"
+            % ", ".join(ignored),
+            file=sys.stderr,
+        )
 
     if args.check is not None:
         if args.cell is None:

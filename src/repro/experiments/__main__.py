@@ -10,14 +10,16 @@ Usage::
 ``--workers N`` first pushes every (benchmark x policy) cell the
 selected experiments need through the parallel engine (populating the
 persistent result store), then renders the reports serially from cache
-hits.  ``--no-cache`` disables both the in-process memo and the store
-for a guaranteed-fresh run.
+hits.  The engine flags are the shared set from
+:mod:`repro.sim.common_cli` — ``--max-retries``/``--deadline`` harden
+the prewarm against flaky workers, and ``--resume RUN_ID`` replays an
+interrupted prewarm's journal.  ``--no-cache`` disables both the
+in-process memo and the store for a guaranteed-fresh run.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -26,21 +28,21 @@ from repro import obs
 from repro.cache.replacement.registry import split_specs
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import prewarm_tasks
+from repro.sim import common_cli
 
 
-def _prewarm(names, benchmarks, scale, workers, show_progress) -> None:
-    """Fan the experiments' shared simulation grid out over a pool."""
+def _prewarm(names, benchmarks, scale, options) -> bool:
+    """Fan the experiments' shared simulation grid out over a pool.
+
+    Returns False when the prewarm was interrupted (Ctrl-C) — the
+    caller should stop instead of re-simulating everything serially.
+    """
     from repro.sim.parallel import run_grid
-    from repro.sim.suite import _progress_printer
 
     tasks = prewarm_tasks(names, benchmarks=benchmarks, scale=scale)
     if not tasks:
-        return
-    grid = run_grid(
-        tasks,
-        workers=workers,
-        progress=_progress_printer if show_progress else None,
-    )
+        return True
+    grid = run_grid(tasks, options=options)
     # Worker-side runs finalize their telemetry in the worker process;
     # fold the merged per-result snapshots into this process's session
     # so --metrics-out sees the whole grid.
@@ -59,15 +61,29 @@ def _prewarm(names, benchmarks, scale, workers, show_progress) -> None:
         ),
         file=sys.stderr,
     )
-    for task, message in grid.failures.items():
+    for task, failure in grid.failures.items():
+        # The failure string is the full remote traceback; the last
+        # line is the exception message.
+        message = failure.strip().splitlines()[-1]
         print("[prewarm FAILED %s: %s]" % (task.label, message),
               file=sys.stderr)
+    if grid.interrupted:
+        print(
+            "[prewarm interrupted — resume with: python -m "
+            "repro.experiments --workers %d --resume %s]"
+            % (grid.workers, grid.run_id),
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
+        parents=[common_cli.execution_parent(),
+                 common_cli.telemetry_parent()],
     )
     parser.add_argument(
         "names",
@@ -87,39 +103,10 @@ def main(argv=None) -> int:
         default=None,
         help="comma-separated benchmark subset (default: all 14)",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        metavar="N",
-        help="prewarm the shared simulation grid on N worker processes "
-             "before rendering reports",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the in-process memo and the persistent result store",
-    )
-    parser.add_argument(
-        "--progress",
-        action="store_true",
-        help="print one line per finished prewarm task to stderr",
-    )
-    parser.add_argument(
-        "--metrics-out", metavar="FILE", default=None,
-        help="enable telemetry and write the session's merged metric "
-             "snapshot (plus profiling spans) as JSON",
-    )
-    parser.add_argument(
-        "--trace-events", metavar="FILE", default=None,
-        help="write a JSONL event trace (workers append .<pid>)",
-    )
     args = parser.parse_args(argv)
 
-    if args.metrics_out:
-        obs.configure(metrics=True, profile=True)
-    if args.trace_events:
-        obs.configure(trace_events=args.trace_events)
+    common_cli.apply_telemetry(args)
+    options = common_cli.options_from_args(args)
 
     names = args.names or list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -129,13 +116,14 @@ def main(argv=None) -> int:
         split_specs(args.benchmarks) if args.benchmarks is not None else None
     )
 
-    if args.no_cache:
+    if not options.use_cache:
         from repro.sim.runner import clear_cache
 
         os.environ["REPRO_NO_STORE"] = "1"
         clear_cache()
-    elif args.workers:
-        _prewarm(names, benchmarks, args.scale, args.workers, args.progress)
+    elif options.workers or options.resume:
+        if not _prewarm(names, benchmarks, args.scale, options):
+            return 130
 
     for name in names:
         started = time.time()
@@ -143,13 +131,7 @@ def main(argv=None) -> int:
         print(report.render())
         print("[%s finished in %.1fs]\n" % (name, time.time() - started))
     if args.metrics_out:
-        payload = {
-            "metrics": obs.session_snapshot(),
-            "profile": obs.session_profile(),
-        }
-        with open(args.metrics_out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print("wrote %s" % args.metrics_out)
+        common_cli.write_metrics(args, obs.session_snapshot())
     return 0
 
 

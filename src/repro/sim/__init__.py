@@ -8,14 +8,15 @@ evaluation reports: IPC, demand misses, the mlp-cost distribution
 samples (Figure 11).
 """
 
+from repro.sim.options import RunOptions
 from repro.sim.simulator import Simulator, build_l2_policy
 from repro.sim.stats import SimResult
 from repro.sim.runner import run_policy, ipc_improvement
-from repro.sim.store import ResultStore, default_store
 
 __all__ = [
     "Simulator",
     "SimResult",
+    "RunOptions",
     "build_l2_policy",
     "run_policy",
     "ipc_improvement",
@@ -23,6 +24,18 @@ __all__ = [
     "default_store",
 ]
 
-# repro.sim.parallel (Task/run_grid) and repro.sim.suite (run_suite)
-# are imported explicitly by users; keeping them out of this facade
-# avoids paying multiprocessing imports on every ``import repro``.
+# repro.sim.parallel (Task/run_grid), repro.sim.suite (run_suite), and
+# repro.sim.resilience/chaos are imported explicitly by users; keeping
+# them out of this facade avoids paying multiprocessing imports on
+# every ``import repro``.
+
+
+def __getattr__(name):
+    # Lazy re-export (PEP 562): importing the store here eagerly would
+    # make ``python -m repro.sim.store`` (the GC/maintenance CLI) warn
+    # about the module already being in sys.modules.
+    if name in ("ResultStore", "default_store"):
+        from repro.sim import store
+
+        return getattr(store, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

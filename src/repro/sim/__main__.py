@@ -5,25 +5,34 @@ Usage::
     python -m repro.sim --benchmark mcf --policy "lin(4)"
     python -m repro.sim --benchmark ammp --policy sbar --phase-interval 500000
     python -m repro.sim --trace my_trace.npz --policy lru --l2-kb 1024
+
+Shares the common execution/telemetry flags with the other CLIs
+(:mod:`repro.sim.common_cli`).  Benchmark runs go through
+:func:`repro.sim.runner.run_policy`, so they hit (and populate) the
+persistent result store like every other entry point; ``--no-cache``
+forces a fresh simulation.  Grid-only flags (``--workers``,
+``--resume``, ``--max-retries``, ``--deadline``, ``--chaos``) are
+accepted for CLI uniformity but a single simulation ignores them.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from repro import obs
 from repro.config import scaled_config
+from repro.sim import common_cli
 from repro.sim.simulator import Simulator
 from repro.trace.trace_io import load_trace
-from repro.workloads import BENCHMARKS, build_trace, experiment_config
+from repro.workloads import BENCHMARKS, experiment_config
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim",
         description="Simulate one workload under one replacement policy.",
+        parents=[common_cli.execution_parent(),
+                 common_cli.telemetry_parent()],
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -49,37 +58,35 @@ def main(argv=None) -> int:
         "--phase-interval", type=int, default=None,
         help="emit per-interval samples every N instructions",
     )
-    parser.add_argument(
-        "--metrics-out", metavar="FILE", default=None,
-        help="enable telemetry and write the run's metric snapshot "
-             "(plus profiling spans) as JSON",
-    )
-    parser.add_argument(
-        "--trace-events", metavar="FILE", default=None,
-        help="write a JSONL event trace of the run",
-    )
     args = parser.parse_args(argv)
 
-    if args.metrics_out:
-        obs.configure(metrics=True, profile=True)
-    if args.trace_events:
-        obs.configure(trace_events=args.trace_events)
+    common_cli.apply_telemetry(args)
+    options = common_cli.options_from_args(args)
 
     config = (
         scaled_config(args.l2_kb) if args.l2_kb else experiment_config()
     )
     if args.benchmark:
-        trace = build_trace(args.benchmark, scale=args.scale)
-        label = args.benchmark
+        from repro.sim.runner import run_policy
+
+        result = run_policy(
+            args.benchmark,
+            args.policy,
+            scale=args.scale,
+            config=config,
+            phase_interval=args.phase_interval,
+            options=options,
+        )
+        print("workload: %s  (%d instructions)"
+              % (args.benchmark, result.instructions))
     else:
         trace = load_trace(args.trace)
-        label = args.trace
-
-    simulator = Simulator(config, args.policy, phase_interval=args.phase_interval)
-    result = simulator.run(trace)
-
-    print("workload: %s  (%d accesses, %d instructions)"
-          % (label, len(trace), result.instructions))
+        simulator = Simulator(
+            config, args.policy, phase_interval=args.phase_interval
+        )
+        result = simulator.run(trace)
+        print("workload: %s  (%d accesses, %d instructions)"
+              % (args.trace, len(trace), result.instructions))
     print(result.summary_line())
     print("  long stalls: %d   stall cycles: %.0f (%.1f%% of runtime)"
           % (result.long_stalls, result.stall_cycles,
@@ -96,13 +103,7 @@ def main(argv=None) -> int:
         print("  per-interval IPC:",
               " ".join("%.2f" % p.ipc for p in result.phases[:40]))
     if args.metrics_out:
-        payload = {
-            "metrics": result.metrics,
-            "profile": obs.session_profile(),
-        }
-        with open(args.metrics_out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print("wrote %s" % args.metrics_out)
+        common_cli.write_metrics(args, result.metrics)
     return 0
 
 

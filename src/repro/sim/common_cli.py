@@ -1,0 +1,193 @@
+"""One CLI surface for every execution entry point.
+
+``repro.sim``, ``repro.sim.suite``, ``repro.experiments``, and
+``repro.bench`` all execute simulations, and each used to hand-copy its
+own ``--workers/--no-cache/--progress/--metrics-out/--trace-events``
+definitions — four drifting copies of the same flags.  This module owns
+them once, as argparse *parent parsers*:
+
+* :func:`execution_parent` — how to execute: ``--workers``,
+  ``--no-cache``, ``--progress``, ``--resume``, ``--max-retries``,
+  ``--deadline``, ``--chaos`` (plus the deprecated ``--timeout`` /
+  ``--retries`` spellings).  :func:`options_from_args` folds the parsed
+  namespace into one :class:`~repro.sim.options.RunOptions`.
+* :func:`telemetry_parent` — what to observe: ``--metrics-out``,
+  ``--trace-events``.  :func:`apply_telemetry` pushes them into
+  :mod:`repro.obs`.
+
+Adding a new execution flag means touching exactly this module and
+:class:`RunOptions`; every CLI picks it up via ``parents=[...]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import Optional
+
+from repro import obs
+from repro.sim.options import RunOptions
+
+
+def execution_parent() -> argparse.ArgumentParser:
+    """Parent parser with the shared execution flags.
+
+    Use as ``argparse.ArgumentParser(parents=[execution_parent()])``;
+    ``add_help=False`` so the child's ``-h`` wins.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan simulations out over N worker processes (default: "
+             "serial in-process)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the in-process memo and the persistent store",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="print one line per finished task to stderr",
+    )
+    group.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="replay an interrupted run's journal: completed cells come "
+             "from the result store, only missing cells re-execute",
+    )
+    group.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-executions allowed per task after a failure "
+             "(default: 1)",
+    )
+    group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget, enforced in the worker",
+    )
+    group.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help='seeded fault injection for testing, e.g. '
+             '"crash=0.2,delay=0.3,seed=7" (see repro.sim.chaos)',
+    )
+    # Deprecated spellings from the pre-RunOptions CLIs; folded (with a
+    # warning) into --deadline / --max-retries by options_from_args.
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=argparse.SUPPRESS,
+    )
+    group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help=argparse.SUPPRESS,
+    )
+    return parent
+
+
+def telemetry_parent() -> argparse.ArgumentParser:
+    """Parent parser with the shared telemetry flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable telemetry and write the merged metric snapshot "
+             "(plus profiling spans, if any) as JSON",
+    )
+    group.add_argument(
+        "--trace-events", metavar="FILE", default=None,
+        help="write a JSONL event trace (workers append .<pid>)",
+    )
+    return parent
+
+
+def options_from_args(
+    args: argparse.Namespace,
+    progress=None,
+) -> RunOptions:
+    """Fold a parsed execution namespace into one :class:`RunOptions`.
+
+    ``progress`` overrides the callback installed when ``--progress``
+    was passed (default: :func:`progress_printer`).
+    """
+    deadline = args.deadline
+    if args.timeout is not None:
+        warnings.warn(
+            "--timeout is deprecated; use --deadline",
+            DeprecationWarning, stacklevel=2,
+        )
+        if deadline is None:
+            deadline = args.timeout
+    max_retries = args.max_retries
+    if args.retries is not None:
+        warnings.warn(
+            "--retries is deprecated; use --max-retries",
+            DeprecationWarning, stacklevel=2,
+        )
+        if max_retries is None:
+            max_retries = args.retries
+
+    fields = {
+        "workers": args.workers,
+        "use_cache": not args.no_cache,
+        "deadline": deadline,
+        "resume": args.resume,
+    }
+    if max_retries is not None:
+        fields["max_retries"] = max_retries
+    if args.chaos:
+        from repro.sim.chaos import ChaosConfig
+
+        fields["chaos"] = ChaosConfig.parse(args.chaos)
+    if args.progress:
+        fields["progress"] = (
+            progress if progress is not None else progress_printer
+        )
+    return RunOptions(**fields)
+
+
+def apply_telemetry(args: argparse.Namespace) -> None:
+    """Push the parsed telemetry flags into :mod:`repro.obs`."""
+    if args.metrics_out:
+        obs.configure(metrics=True, profile=True)
+    if args.trace_events:
+        obs.configure(trace_events=args.trace_events)
+
+
+def write_metrics(args: argparse.Namespace, metrics) -> None:
+    """Write the ``--metrics-out`` payload (metrics + profile spans)."""
+    import json
+
+    payload = {
+        "metrics": metrics,
+        "profile": obs.session_profile(),
+    }
+    with open(args.metrics_out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print("wrote %s" % args.metrics_out)
+
+
+def progress_printer(report, done, total) -> None:
+    """One stderr line per finished task (the ``--progress`` callback)."""
+    if report.cache_hit:
+        source = "resume" if report.resumed else "cache"
+    elif report.worker:
+        source = "worker %s" % report.worker
+    else:
+        source = "local"
+    status = "ok" if report.ok else "FAILED"
+    print(
+        "[%d/%d] %-24s %6.2fs  %s  %s"
+        % (done, total, report.task.label, report.wall_time, source,
+           status),
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+__all__ = [
+    "execution_parent",
+    "telemetry_parent",
+    "options_from_args",
+    "apply_telemetry",
+    "write_metrics",
+    "progress_printer",
+]

@@ -17,13 +17,17 @@ it can never serve stale results.  ``use_cache=False`` bypasses both.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, Optional, Tuple
 
 from repro import obs
 from repro.config import MachineConfig
+from repro.sim.options import RunOptions
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimResult
 from repro.trace.packed import PackedTrace
+
+_UNSET = object()
 
 _CACHE: Dict[Tuple, SimResult] = {}
 
@@ -99,19 +103,35 @@ def run_policy(
     scale: Optional[float] = None,
     config: Optional[MachineConfig] = None,
     phase_interval: Optional[int] = None,
-    use_cache: bool = True,
+    use_cache=_UNSET,
+    options: Optional[RunOptions] = None,
 ) -> SimResult:
     """Simulate one benchmark surrogate under one policy.
 
     ``policy_spec`` is a registry spec string (see
     :func:`repro.cache.replacement.registry.parse_policy_spec`).
     Results come from the in-process memo, then the persistent store,
-    then a fresh simulation; ``use_cache=False`` forces the simulation
-    and skips both caches.
+    then a fresh simulation; ``RunOptions(use_cache=False)`` forces the
+    simulation and skips both caches.  The bare ``use_cache`` keyword
+    is a deprecated shim for ``options=RunOptions(use_cache=...)``.
     """
     from repro import workloads  # deferred: workloads import the sim layer
     from repro.sim.store import default_store, store_key
 
+    if use_cache is _UNSET:
+        use_cache = options.use_cache if options is not None else True
+    else:
+        if options is not None:
+            raise TypeError(
+                "run_policy: pass options=RunOptions(...) or use_cache, "
+                "not both"
+            )
+        warnings.warn(
+            "run_policy(use_cache=...) is deprecated; pass "
+            "options=repro.sim.RunOptions(use_cache=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if scale is None:
         scale = trace_scale()
     key = _memo_key(benchmark, policy_spec, scale, config, phase_interval)
@@ -196,7 +216,7 @@ def cache_stats() -> Dict[str, int]:
     store = default_store()
     stats.update(
         store.counters() if store is not None
-        else {"store_hits": 0, "store_misses": 0}
+        else {"store_hits": 0, "store_misses": 0, "store_quarantined": 0}
     )
     return stats
 

@@ -38,9 +38,11 @@ from repro import obs
 from repro.config import MachineConfig
 from repro.sim.stats import SimResult
 
-# Version 2: results may carry a telemetry snapshot (SimResult.metrics)
-# and the key includes whether metrics collection was enabled.
-_FORMAT_VERSION = 2
+# Version 3: every payload carries the writing code version and a
+# content digest over the result; reads verify the digest and
+# quarantine corrupt or tampered entries instead of serving them.
+# (Version 2 added telemetry snapshots and a metrics flag in the key.)
+_FORMAT_VERSION = 3
 
 _code_version: Optional[str] = None
 
@@ -89,11 +91,22 @@ def store_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+def result_digest(result_dict: Dict) -> str:
+    """Content digest over a serialized SimResult (canonical JSON)."""
+    blob = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class _IntegrityError(ValueError):
+    """A stored payload failed its content-digest check."""
+
+
 class ResultStore:
     """JSON-per-key result store rooted at one directory.
 
-    Tracks ``hits``/``misses`` counters for observability; the suite
-    runner surfaces them in ``SuiteResult.to_json()``.
+    Tracks ``hits``/``misses``/``quarantined`` counters for
+    observability; the suite runner surfaces them in
+    ``SuiteResult.to_json()``.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
@@ -104,29 +117,48 @@ class ResultStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / ("%s.json" % key)
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never serve it, never crash)."""
+        self.quarantined += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def load(self, key: str) -> Optional[SimResult]:
         """Return the stored result for ``key``, or None on a miss.
 
-        Corrupt files (interrupted writes predating this store's
-        atomic-replace, manual edits) count as misses and are removed.
+        Every read verifies the payload's content digest, so torn
+        writes, manual edits, and bit-rot all count as misses: the
+        offending file is moved to ``quarantine/`` (for post-mortems)
+        instead of being served or crashing the run.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            result = SimResult.from_dict(payload["result"])
+            result_dict = payload["result"]
+            if payload["digest"] != result_digest(result_dict):
+                raise _IntegrityError("digest mismatch for %s" % key)
+            result = SimResult.from_dict(result_dict)
         except FileNotFoundError:
             self.misses += 1
             return None
         except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -135,7 +167,13 @@ class ResultStore:
     def save(self, key: str, result: SimResult, **key_fields) -> None:
         """Atomically persist ``result`` under ``key``."""
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = {"key_fields": key_fields, "result": result.to_dict()}
+        result_dict = result.to_dict()
+        payload = {
+            "key_fields": key_fields,
+            "code": code_version(),
+            "digest": result_digest(result_dict),
+            "result": result_dict,
+        }
         descriptor, tmp_name = tempfile.mkstemp(
             dir=str(self.root), suffix=".tmp"
         )
@@ -170,8 +208,50 @@ class ResultStore:
                     pass
         return removed
 
+    def gc(self, dry_run: bool = False) -> Dict[str, int]:
+        """Prune entries written by other code versions, plus junk.
+
+        Store keys include the code version, so entries written by an
+        older checkout can never be *served* — but they linger on disk
+        forever.  ``gc`` removes them (and anything unparseable, and
+        everything previously quarantined); entries from the current
+        code version are kept.  ``dry_run`` only counts.
+        """
+        current = code_version()
+        removed = kept = 0
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                stale = payload.get("code") != current
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                removed += 1
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            else:
+                kept += 1
+        purged = 0
+        if self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.glob("*.json")):
+                purged += 1
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return {"removed": removed, "kept": kept,
+                "quarantine_purged": purged}
+
     def counters(self) -> Dict[str, int]:
-        return {"store_hits": self.hits, "store_misses": self.misses}
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_quarantined": self.quarantined,
+        }
 
 
 _stores: Dict[str, ResultStore] = {}
@@ -196,4 +276,79 @@ def default_store() -> Optional[ResultStore]:
     return store
 
 
-__all__ = ["ResultStore", "default_store", "store_key", "code_version"]
+def main(argv=None) -> int:
+    """``python -m repro.sim.store``: inspect and garbage-collect.
+
+    ``--stats`` (default) prints the store location and entry counts;
+    ``--gc`` prunes entries from old code versions (``--dry-run`` to
+    preview); ``--clear`` deletes everything.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.store",
+        description="Inspect and maintain the persistent result store.",
+    )
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--stats", action="store_true",
+        help="print store location and entry counts (default)",
+    )
+    action.add_argument(
+        "--gc", action="store_true",
+        help="prune entries written by other code versions (and purge "
+        "the quarantine directory)",
+    )
+    action.add_argument(
+        "--clear", action="store_true",
+        help="delete every stored result",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --gc: report what would be removed without removing",
+    )
+    args = parser.parse_args(argv)
+
+    store = default_store()
+    if store is None:
+        print("persistence is disabled (REPRO_NO_STORE is set)",
+              file=sys.stderr)
+        return 1
+    if args.clear:
+        removed = store.clear()
+        print("cleared %d entries from %s" % (removed, store.root))
+        return 0
+    if args.gc:
+        stats = store.gc(dry_run=args.dry_run)
+        print(
+            "%s%s: removed %d stale, kept %d current, purged %d "
+            "quarantined (code %s)"
+            % ("[dry run] " if args.dry_run else "", store.root,
+               stats["removed"], stats["kept"],
+               stats["quarantine_purged"], code_version()),
+        )
+        return 0
+    quarantined = (
+        sum(1 for _ in store.quarantine_dir.glob("*.json"))
+        if store.quarantine_dir.is_dir() else 0
+    )
+    print("store: %s" % store.root)
+    print("  entries: %d  quarantined: %d  code: %s"
+          % (len(store), quarantined, code_version()))
+    return 0
+
+
+__all__ = [
+    "ResultStore",
+    "default_store",
+    "store_key",
+    "code_version",
+    "result_digest",
+]
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

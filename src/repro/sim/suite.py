@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import hashlib
 import io
 import json
 import sys
@@ -31,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.cache.replacement.registry import split_specs
+from repro.sim.options import UNSET as _UNSET
+from repro.sim.options import RunOptions, resolve_options
 from repro.sim.runner import ipc_improvement, run_policy
 from repro.sim.stats import SimResult
 from repro.workloads import BENCHMARKS
@@ -112,6 +115,27 @@ class SuiteResult:
             return None
         return obs.merge_snapshots(snapshots)
 
+    def content_digest(self) -> str:
+        """Hash of the suite's *deterministic* content.
+
+        Covers the scale, every completed cell's exported fields, the
+        failure map, and the merged telemetry snapshot — and nothing
+        host- or schedule-dependent (``meta`` carries wall times and
+        worker pids, so it is excluded).  Two runs of the same matrix
+        must digest identically whether they ran serially, across a
+        pool, under chaos injection, or resumed from a journal; the
+        chaos differential (``python -m repro.sim.chaos``) asserts
+        exactly that.
+        """
+        payload = {
+            "scale": self.scale,
+            "runs": self.to_rows(),
+            "failures": self.failures,
+            "metrics": self.merged_metrics(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
     # -- renderings -----------------------------------------------------
 
     def to_rows(self) -> List[Dict[str, object]]:
@@ -191,29 +215,53 @@ def run_suite(
     policies: Sequence[str] = DEFAULT_POLICIES,
     benchmarks: Optional[Sequence[str]] = None,
     scale: Optional[float] = None,
-    workers: int = 0,
-    use_cache: bool = True,
-    timeout: Optional[float] = None,
-    retries: int = 1,
-    progress=None,
+    workers=_UNSET,
+    use_cache=_UNSET,
+    timeout=_UNSET,
+    retries=_UNSET,
+    progress=_UNSET,
+    options: Optional[RunOptions] = None,
 ) -> SuiteResult:
     """Run the matrix; the first policy is the baseline column.
 
-    ``workers=0`` (the default) runs serially in-process and raises on
-    the first simulation error, exactly as before.  ``workers >= 1``
-    routes the grid through :func:`repro.sim.parallel.run_grid`:
-    failures become ``SuiteResult.failures`` entries, and the
-    observability report lands in ``SuiteResult.meta``.  Both paths
-    produce bit-identical ``SimResult`` values.
+    Execution knobs travel in ``options``
+    (:class:`~repro.sim.options.RunOptions`); the bare ``workers`` /
+    ``use_cache`` / ``timeout`` / ``retries`` / ``progress`` keywords
+    are deprecated shims that fold into one.
+
+    ``RunOptions(workers=0)`` (the default) runs serially in-process
+    and raises on the first simulation error, exactly as before.
+    ``workers >= 1`` — or any of ``resume`` / ``chaos``, which need the
+    fault-tolerant engine — routes the grid through
+    :func:`repro.sim.parallel.run_grid`: failures become
+    ``SuiteResult.failures`` entries (with full remote tracebacks), the
+    run is journaled for ``--resume``, and the observability +
+    resilience report lands in ``SuiteResult.meta``.  Both paths
+    produce bit-identical ``SimResult`` values, so
+    :meth:`SuiteResult.content_digest` matches across them.
     """
+    options = resolve_options(
+        options, "run_suite", workers=workers, use_cache=use_cache,
+        timeout=timeout, retries=retries, progress=progress,
+    )
     if not policies:
         raise ValueError("need at least one policy")
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
 
-    if workers:
+    needs_engine = (
+        options.workers
+        or options.resume is not None
+        or options.chaos is not None
+    )
+    if needs_engine:
         from repro.sim.parallel import Task, run_grid
         from repro.sim.runner import trace_scale
 
+        if not options.workers:
+            # resume/chaos need the journaling engine even "serially";
+            # one worker means in-process execution with the full
+            # retry/journal protocol.
+            options = options.replace(workers=1)
         resolved_scale = scale if scale is not None else trace_scale()
         tasks = [
             Task(benchmark=benchmark, policy_spec=policy,
@@ -221,14 +269,7 @@ def run_suite(
             for benchmark in names
             for policy in policies
         ]
-        grid = run_grid(
-            tasks,
-            workers=workers,
-            use_cache=use_cache,
-            timeout=timeout,
-            retries=retries,
-            progress=progress,
-        )
+        grid = run_grid(tasks, options=options)
         results: Dict[str, Dict[str, SimResult]] = {
             benchmark: {} for benchmark in names
         }
@@ -253,7 +294,7 @@ def run_suite(
         results[benchmark] = {}
         for policy in policies:
             results[benchmark][policy] = run_policy(
-                benchmark, policy, scale=scale, use_cache=use_cache
+                benchmark, policy, scale=scale, options=options,
             )
     return SuiteResult(
         policies=list(policies),
@@ -263,24 +304,51 @@ def run_suite(
     )
 
 
+#: Back-compat alias; the canonical progress callback moved to
+#: :func:`repro.sim.common_cli.progress_printer`.
 def _progress_printer(report, done, total) -> None:
-    source = "cache" if report.cache_hit else (
-        "worker %s" % report.worker if report.worker else "local"
-    )
-    status = "ok" if report.ok else "FAILED"
-    print(
-        "[%d/%d] %-24s %6.2fs  %s  %s"
-        % (done, total, report.task.label, report.wall_time, source,
-           status),
-        file=sys.stderr,
-        flush=True,
-    )
+    from repro.sim.common_cli import progress_printer
+
+    progress_printer(report, done, total)
+
+
+def _print_runs() -> int:
+    """``--list-runs``: one line per journaled run in the cache dir."""
+    from repro.sim.resilience import journal_root, list_runs
+
+    states = list_runs()
+    if not states:
+        print("no journaled runs under %s" % (journal_root() or "<disabled>"))
+        return 0
+    for state in states:
+        if state.interrupted:
+            status = "interrupted"
+        elif state.finished:
+            status = "finished"
+        else:
+            status = "incomplete"
+        print(
+            "%-28s %-12s %3d completed  %2d failed  (%s x %s)"
+            % (
+                state.run_id,
+                status,
+                len(state.completed),
+                len(state.failed),
+                ",".join(state.meta.get("benchmarks", []) or ["?"]),
+                ",".join(state.meta.get("policies", []) or ["?"]),
+            )
+        )
+    return 0
 
 
 def main(argv=None) -> int:
+    from repro.sim import common_cli
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.suite",
         description="Run a benchmark x policy matrix.",
+        parents=[common_cli.execution_parent(),
+                 common_cli.telemetry_parent()],
     )
     parser.add_argument(
         "--policies", default=",".join(DEFAULT_POLICIES),
@@ -289,55 +357,26 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--benchmarks", default=None)
     parser.add_argument("--scale", type=float, default=None)
-    parser.add_argument(
-        "--workers", type=int, default=0, metavar="N",
-        help="fan the matrix out over N worker processes (default: "
-             "serial in-process)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="bypass the in-process memo and the persistent store",
-    )
-    parser.add_argument(
-        "--progress", action="store_true",
-        help="print one line per finished task to stderr",
-    )
-    parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-task wall-clock budget (parallel mode)",
-    )
-    parser.add_argument(
-        "--retries", type=int, default=1,
-        help="re-submissions per failed task (parallel mode, default 1)",
-    )
     parser.add_argument("--json", metavar="FILE", default=None)
     parser.add_argument("--csv", metavar="FILE", default=None)
     parser.add_argument(
-        "--metrics-out", metavar="FILE", default=None,
-        help="enable telemetry and write the merged metric snapshot "
-             "(plus profiling spans, if any) as JSON",
-    )
-    parser.add_argument(
-        "--trace-events", metavar="FILE", default=None,
-        help="write a JSONL event trace (workers append .<pid>)",
+        "--list-runs", action="store_true",
+        help="list journaled runs (for --resume) and exit",
     )
     args = parser.parse_args(argv)
 
-    if args.metrics_out:
-        obs.configure(metrics=True, profile=True)
-    if args.trace_events:
-        obs.configure(trace_events=args.trace_events)
+    if args.list_runs:
+        return _print_runs()
+
+    common_cli.apply_telemetry(args)
+    options = common_cli.options_from_args(args)
 
     started = time.perf_counter()
     suite = run_suite(
         policies=split_specs(args.policies),
         benchmarks=split_specs(args.benchmarks) if args.benchmarks else None,
         scale=args.scale,
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        timeout=args.timeout,
-        retries=args.retries,
-        progress=_progress_printer if args.progress else None,
+        options=options,
     )
     print(suite.to_text())
     if suite.meta is not None:
@@ -355,6 +394,20 @@ def main(argv=None) -> int:
             ),
             file=sys.stderr,
         )
+        resilience = suite.meta.get("resilience") or {}
+        if resilience.get("retries") or resilience.get("pool_rebuilds"):
+            print(
+                "[resilience: %d retries, %d pool rebuilds%s, %d store "
+                "entries quarantined]"
+                % (
+                    resilience.get("retries", 0),
+                    resilience.get("pool_rebuilds", 0),
+                    " (circuit opened -> serial)"
+                    if resilience.get("circuit_open") else "",
+                    resilience.get("store_quarantined", 0),
+                ),
+                file=sys.stderr,
+            )
     else:
         print(
             "[serial: %.1fs]" % (time.perf_counter() - started),
@@ -369,13 +422,14 @@ def main(argv=None) -> int:
             handle.write(suite.to_csv())
         print("wrote %s" % args.csv)
     if args.metrics_out:
-        payload = {
-            "metrics": suite.merged_metrics(),
-            "profile": obs.session_profile(),
-        }
-        with open(args.metrics_out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print("wrote %s" % args.metrics_out)
+        common_cli.write_metrics(args, suite.merged_metrics())
+    if suite.meta is not None and suite.meta.get("interrupted"):
+        print(
+            "interrupted — resume with: python -m repro.sim.suite "
+            "--resume %s" % suite.meta.get("run_id"),
+            file=sys.stderr,
+        )
+        return 130
     return 1 if suite.failures else 0
 
 

@@ -1,0 +1,310 @@
+"""Resilience-layer unit tests: backoff, breaker, journal, RunOptions.
+
+The end-to-end fault-injection properties (digest equality under
+chaos, resume, pool rebuild) live in ``tests/test_chaos.py``; this
+file locks in the primitives those tests compose — all deterministic,
+none needing a worker pool.
+"""
+
+import argparse
+import importlib
+import json
+import re
+
+import pytest
+
+from repro.sim import common_cli
+from repro.sim.chaos import ChaosConfig
+from repro.sim.options import RunOptions, resolve_options
+from repro.sim.parallel import Task, run_grid
+from repro.sim.resilience import (
+    CircuitBreaker,
+    RunJournal,
+    backoff_delay,
+    journal_root,
+    list_runs,
+    load_journal,
+    new_run_id,
+)
+from repro.sim.runner import clear_cache
+
+SCALE = 0.05
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memo, store, and journal directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _task(policy="lru"):
+    return Task(benchmark="lucas", policy_spec=policy, scale=SCALE)
+
+
+class TestBackoff:
+    def test_deterministic_in_seed_label_attempt(self):
+        delay = backoff_delay(0.05, 2.0, 1, "mcf/lru", seed=1)
+        assert delay == backoff_delay(0.05, 2.0, 1, "mcf/lru", seed=1)
+        assert delay != backoff_delay(0.05, 2.0, 1, "mcf/lin(4)", seed=1)
+        assert delay != backoff_delay(0.05, 2.0, 1, "mcf/lru", seed=2)
+        assert delay != backoff_delay(0.05, 2.0, 2, "mcf/lru", seed=1)
+
+    def test_exponential_with_bounded_jitter(self):
+        for attempt in range(1, 6):
+            raw = 0.05 * 2 ** (attempt - 1)
+            delay = backoff_delay(0.05, 100.0, attempt, "x")
+            assert raw <= delay < 2 * raw
+
+    def test_cap_and_degenerate_inputs(self):
+        assert backoff_delay(0.05, 2.0, 30, "x") == 2.0
+        assert backoff_delay(0.0, 2.0, 3, "x") == 0.0
+        assert backoff_delay(-1.0, 2.0, 3, "x") == 0.0
+        assert backoff_delay(0.05, 2.0, 0, "x") == 0.0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(2)
+        assert not breaker.open
+        breaker.record_pool_failure()
+        assert not breaker.open
+        breaker.record_healthy_round()  # resets the consecutive count
+        breaker.record_pool_failure()
+        assert not breaker.open
+        breaker.record_pool_failure()
+        assert breaker.open
+        assert breaker.total_failures == 3
+
+    def test_zero_threshold_disables(self):
+        breaker = CircuitBreaker(0)
+        for _ in range(10):
+            breaker.record_pool_failure()
+        assert not breaker.open
+
+
+class TestRunJournal:
+    def test_roundtrip(self):
+        journal = RunJournal.create(
+            run_id="run-test-0001", meta={"workers": 2, "tasks": 1}
+        )
+        task = _task()
+        journal.task_started(task, 1)
+        journal.task_failed(task, "Boom: no", "Traceback (fake)", 1)
+        journal.task_started(task, 2)
+        journal.task_finished(
+            task, "abc123", cache_hit=False, resumed=False, wall=0.5,
+            worker=321, attempts=2,
+        )
+        journal.run_finished(completed=1, failed=0, interrupted=False)
+
+        state = load_journal("run-test-0001")
+        assert state.run_id == "run-test-0001"
+        assert state.meta["workers"] == 2
+        assert state.meta["run_id"] == "run-test-0001"
+        assert list(state.completed) == ["abc123"]
+        record = state.completed["abc123"]
+        assert record["attempts"] == 2
+        assert record["worker"] == 321
+        assert record["benchmark"] == "lucas"
+        assert state.failed[0]["error"] == "Boom: no"
+        assert state.failed[0]["traceback"] == "Traceback (fake)"
+        assert state.finished and not state.interrupted
+
+    def test_every_event_is_flushed(self):
+        journal = RunJournal.create(run_id="run-test-flush")
+        journal.task_started(_task(), 1)
+        # No close(): the lines must already be durable on disk.
+        lines = journal.path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "run_started"
+        assert json.loads(lines[1])["event"] == "task_started"
+        journal.close()
+
+    def test_torn_trailing_line_is_ignored(self):
+        journal = RunJournal.create(run_id="run-test-torn")
+        journal.task_finished(
+            _task(), "key1", cache_hit=False, resumed=False, wall=0.1,
+            worker=None, attempts=1,
+        )
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"event": "task_fini')  # killed mid-write
+        state = load_journal("run-test-torn")
+        assert list(state.completed) == ["key1"]
+        assert not state.finished
+
+    def test_unknown_run_id_lists_known_runs(self):
+        RunJournal.create(run_id="run-test-known").close()
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_journal("run-test-missing")
+        assert "run-test-missing" in str(excinfo.value)
+        assert "run-test-known" in str(excinfo.value)
+
+    def test_list_runs_enumerates(self):
+        assert list_runs() == []
+        RunJournal.create(run_id="run-test-a").run_finished(0, 0)
+        RunJournal.create(run_id="run-test-b").close()
+        assert [s.run_id for s in list_runs()] == [
+            "run-test-a", "run-test-b",
+        ]
+
+    def test_no_store_disables_journaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_STORE", "1")
+        assert journal_root() is None
+        assert RunJournal.create() is None
+        assert list_runs() == []
+
+    def test_new_run_id_shape(self):
+        run_id = new_run_id()
+        assert re.match(r"^run-\d{8}-\d{6}-[0-9a-f]{6}$", run_id)
+
+
+class TestGridJournalIntegration:
+    def test_run_grid_journals_and_reports_run_id(self):
+        grid = run_grid([_task()], options=RunOptions(workers=1))
+        assert grid.run_id
+        state = load_journal(grid.run_id)
+        assert state.finished and not state.interrupted
+        assert len(state.completed) == 1
+        record = next(iter(state.completed.values()))
+        assert record["cache_hit"] is False
+        assert record["attempts"] == 1
+
+    def test_cache_hits_are_journaled_as_such(self):
+        run_grid([_task()], options=RunOptions(workers=1))
+        grid = run_grid([_task()], options=RunOptions(workers=1))
+        record = next(iter(load_journal(grid.run_id).completed.values()))
+        assert record["cache_hit"] is True
+        assert record["attempts"] == 0
+
+    def test_journal_false_disables(self):
+        grid = run_grid(
+            [_task()], options=RunOptions(workers=1, journal=False)
+        )
+        assert grid.run_id is None
+        assert list_runs() == []
+
+    def test_resume_requires_the_cache(self):
+        with pytest.raises(ValueError, match="use_cache"):
+            run_grid(
+                [_task()],
+                options=RunOptions(
+                    workers=1, use_cache=False, resume="run-x"
+                ),
+            )
+
+    def test_resume_unknown_run_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_grid(
+                [_task()],
+                options=RunOptions(workers=1, resume="run-nope"),
+            )
+
+
+class TestRunOptions:
+    def test_frozen_with_replace(self):
+        options = RunOptions(workers=4)
+        with pytest.raises(Exception):
+            options.workers = 8
+        derived = options.replace(max_retries=3)
+        assert derived.workers == 4 and derived.max_retries == 3
+        assert options.max_retries == 1  # original untouched
+
+    def test_resolve_passthrough(self):
+        assert resolve_options(None, "caller") == RunOptions()
+        options = RunOptions(workers=3)
+        assert resolve_options(options, "caller") is options
+
+    def test_resolve_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="run_suite"):
+            options = resolve_options(
+                None, "run_suite", workers=4, use_cache=False,
+                timeout=9.0, retries=2,
+            )
+        assert options.workers == 4
+        assert options.use_cache is False
+        assert options.deadline == 9.0
+        assert options.max_retries == 2
+
+    def test_mixing_legacy_and_options_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_options(RunOptions(), "run_grid", workers=2)
+
+
+class TestCommonCli:
+    def _parse(self, argv):
+        parser = argparse.ArgumentParser(
+            parents=[common_cli.execution_parent()]
+        )
+        return parser.parse_args(argv)
+
+    def test_flags_map_to_run_options(self):
+        args = self._parse([
+            "--workers", "4", "--no-cache", "--max-retries", "3",
+            "--deadline", "10", "--resume", "run-z",
+            "--chaos", "crash=0.2,seed=7",
+        ])
+        options = common_cli.options_from_args(args)
+        assert options.workers == 4
+        assert options.use_cache is False
+        assert options.max_retries == 3
+        assert options.deadline == 10.0
+        assert options.resume == "run-z"
+        assert options.chaos == ChaosConfig(seed=7, crash_rate=0.2)
+
+    def test_defaults_are_run_options_defaults(self):
+        options = common_cli.options_from_args(self._parse([]))
+        assert options == RunOptions()
+
+    def test_deprecated_spellings_fold_with_warning(self):
+        args = self._parse(["--timeout", "5", "--retries", "2"])
+        with pytest.warns(DeprecationWarning):
+            options = common_cli.options_from_args(args)
+        assert options.deadline == 5.0
+        assert options.max_retries == 2
+
+    def test_explicit_flags_win_over_deprecated(self):
+        args = self._parse(["--deadline", "7", "--timeout", "5"])
+        with pytest.warns(DeprecationWarning):
+            options = common_cli.options_from_args(args)
+        assert options.deadline == 7.0
+
+    def test_progress_flag_installs_printer(self):
+        options = common_cli.options_from_args(self._parse(["--progress"]))
+        assert options.progress is common_cli.progress_printer
+
+    @pytest.mark.parametrize("module", [
+        "repro.sim.__main__",
+        "repro.sim.suite",
+        "repro.experiments.__main__",
+        "repro.bench.__main__",
+    ])
+    def test_every_cli_exposes_the_shared_flags(self, module, capsys):
+        mod = importlib.import_module(module)
+        with pytest.raises(SystemExit):
+            mod.main(["--help"])
+        out = capsys.readouterr().out
+        for flag in (
+            "--workers", "--no-cache", "--progress", "--resume",
+            "--max-retries", "--deadline", "--chaos",
+            "--metrics-out", "--trace-events",
+        ):
+            assert flag in out, "%s missing %s" % (module, flag)
+
+    def test_progress_printer_labels_sources(self, capsys):
+        from repro.sim.parallel import TaskReport
+
+        task = _task()
+        cases = [
+            (TaskReport(task=task, ok=True, cache_hit=True, resumed=True),
+             "resume"),
+            (TaskReport(task=task, ok=True, cache_hit=True), "cache"),
+            (TaskReport(task=task, ok=True, worker=42), "worker 42"),
+            (TaskReport(task=task, ok=False, error="x"), "FAILED"),
+        ]
+        for report, expected in cases:
+            common_cli.progress_printer(report, 1, 4)
+            assert expected in capsys.readouterr().err
