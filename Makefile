@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-pytest suite chaos experiments experiments-fast examples lint clean
+.PHONY: install test bench bench-quick bench-pytest suite chaos workload-zoo experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +31,17 @@ suite:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.sim.chaos --scale 0.25 --workers 2
 	PYTHONPATH=src $(PYTHON) -m repro.sim.chaos --scale 0.25 --workers 2 --hard
+
+# Workload registry smoke (also run by CI): list, import a committed
+# ChampSim fixture, run a composed spec, and check digest determinism.
+workload-zoo:
+	PYTHONPATH=src $(PYTHON) -m repro.workloads --list
+	PYTHONPATH=src $(PYTHON) -m repro.sim \
+		--workload "champsim:tests/fixtures/mix4k.champsim.gz" --policy lru
+	PYTHONPATH=src $(PYTHON) -m repro.sim \
+		--workload "interleave(mcf,art)" --policy sbar --scale 0.1
+	PYTHONPATH=src $(PYTHON) -m repro.workloads \
+		--digest "interleave(mcf,art)" --scale 0.1
 
 # Full-scale regeneration of every table and figure (~10 minutes).
 experiments:

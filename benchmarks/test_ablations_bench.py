@@ -15,7 +15,7 @@ from repro.cache.replacement import CostThresholdPolicy, LINPolicy
 from repro.config import MSHRConfig
 from repro.sbar.sbar import SBARController
 from repro.sim.simulator import Simulator
-from repro.workloads import build_trace, experiment_config
+from repro.workloads import build_workload, experiment_config
 
 SCALE = 0.25
 BENCH = "mcf"
@@ -23,7 +23,7 @@ BENCH = "mcf"
 
 def _run(policy, config=None, bench=BENCH):
     config = config or experiment_config()
-    return Simulator(config, policy).run(build_trace(bench, scale=SCALE))
+    return Simulator(config, policy).run(build_workload(bench, scale=SCALE))
 
 
 def _print(capsys, title, rows):

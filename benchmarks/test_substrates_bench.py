@@ -14,7 +14,7 @@ from repro.cpu.window import WindowModel
 from repro.memory.controller import MemoryController
 from repro.mlp.mshr import MSHRFile
 from repro.sim.simulator import Simulator
-from repro.workloads import build_trace, experiment_config
+from repro.workloads import build_workload, experiment_config
 
 _GEOMETRY = CacheGeometry(256 * 1024, 64, 16, 15)
 
@@ -85,12 +85,12 @@ def test_memory_controller_rate(benchmark):
 
 
 def test_trace_generation_rate(benchmark):
-    result = benchmark(lambda: build_trace("mcf", scale=0.3))
+    result = benchmark(lambda: build_workload("mcf", scale=0.3))
     assert len(result) > 10_000
 
 
 def test_end_to_end_simulation_rate(benchmark):
-    trace = build_trace("mcf", scale=0.2)
+    trace = build_workload("mcf", scale=0.2)
 
     def run():
         return Simulator(experiment_config(), "lru").run(trace).demand_misses

@@ -9,7 +9,7 @@ Run::
     python examples/adaptive_phases.py
 """
 
-from repro import Simulator, build_trace, experiment_config
+from repro import Simulator, build_workload, experiment_config
 
 SAMPLE_INTERVAL = 500_000
 POLICIES = ("lru", "lin(4)", "sbar")
@@ -30,7 +30,7 @@ def main() -> None:
         simulator = Simulator(
             experiment_config(), policy, phase_interval=SAMPLE_INTERVAL
         )
-        results[policy] = simulator.run(build_trace("ammp"))
+        results[policy] = simulator.run(build_workload("ammp"))
 
     n_samples = min(len(results[p].phases) for p in POLICIES)
     all_ipcs = [

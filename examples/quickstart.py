@@ -11,7 +11,7 @@ paper, and prints IPC, misses, and the mlp-cost distribution.
 
 import sys
 
-from repro import BENCHMARKS, Simulator, build_trace, experiment_config
+from repro import BENCHMARKS, Simulator, build_workload, experiment_config
 
 
 def main() -> None:
@@ -25,7 +25,7 @@ def main() -> None:
     print("benchmark: %s (scale %.2f)" % (benchmark, scale))
     results = {}
     for policy in ("lru", "lin(4)", "sbar"):
-        trace = build_trace(benchmark, scale=scale)
+        trace = build_workload(benchmark, scale=scale)
         results[policy] = Simulator(experiment_config(), policy).run(trace)
         print("  " + results[policy].summary_line())
 

@@ -16,7 +16,7 @@ Run::
     python examples/workload_analysis.py
 """
 
-from repro import Simulator, build_trace, experiment_config
+from repro import Simulator, build_workload, experiment_config
 from repro.analysis import (
     attach_classifier,
     predict_cycles,
@@ -29,7 +29,7 @@ SCALE = 0.4
 
 
 def main() -> None:
-    trace = build_trace(BENCHMARK, scale=SCALE)
+    trace = build_workload(BENCHMARK, scale=SCALE)
     config = experiment_config()
 
     print("== reuse-distance profile (%s, %d accesses) ==" % (BENCHMARK, len(trace)))
@@ -45,7 +45,7 @@ def main() -> None:
     for policy in ("lru", "lin(4)"):
         simulator = Simulator(config, policy)
         run = attach_classifier(simulator)
-        result = simulator.run(build_trace(BENCHMARK, scale=SCALE))
+        result = simulator.run(build_workload(BENCHMARK, scale=SCALE))
         print("  %s (IPC %.4f):" % (policy, result.ipc))
         print("    %-10s %9s %9s %7s %9s" % ("class", "accesses", "misses", "hit%", "avg cost"))
         for row in run.table():

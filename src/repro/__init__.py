@@ -4,11 +4,12 @@ Qureshi, Lynch, Mutlu, Patt — TR-HPS-2006-3 / ISCA 2006.
 
 Quickstart::
 
-    from repro import Simulator, build_trace, experiment_config
+    from repro import Simulator, build_workload, experiment_config
 
-    trace = build_trace("mcf")
+    trace = build_workload("mcf")
     lru = Simulator(experiment_config(), "lru").run(trace)
-    lin = Simulator(experiment_config(), "lin(4)").run(build_trace("mcf"))
+    mix = build_workload("interleave(mcf,art)")
+    lin = Simulator(experiment_config(), "lin(4)").run(mix)
     print(lru.ipc, lin.ipc)
 
 The package layers, bottom up:
@@ -28,7 +29,15 @@ The package layers, bottom up:
 
 from repro.config import MachineConfig, baseline_config, scaled_config
 from repro.sim import Simulator, SimResult, build_l2_policy
-from repro.workloads import BENCHMARKS, build_trace, experiment_config
+from repro.workloads import (
+    BENCHMARKS,
+    available_workloads,
+    build_trace,
+    build_workload,
+    experiment_config,
+    parse_workload_spec,
+    register_workload,
+)
 from repro.cache.replacement import (
     LINPolicy,
     LRUPolicy,
@@ -51,6 +60,10 @@ __all__ = [
     "parse_policy_spec",
     "available_policies",
     "build_trace",
+    "build_workload",
+    "parse_workload_spec",
+    "register_workload",
+    "available_workloads",
     "experiment_config",
     "BENCHMARKS",
     "LRUPolicy",

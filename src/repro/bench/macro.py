@@ -20,8 +20,7 @@ from time import perf_counter
 from typing import Dict, List, Sequence
 
 from repro.sim.simulator import Simulator
-from repro.trace.packed import pack_trace
-from repro.workloads import build_trace, experiment_config
+from repro.workloads import build_workload, experiment_config
 
 #: Workloads × policies timed by ``run_macro`` (and ``make bench``).
 MACRO_WORKLOADS = ("mcf", "art")
@@ -44,7 +43,7 @@ def simulate_cell(workload: str, policy: str, scale: float):
     uses: identical machine setup to the timed cells, so the embedded
     result fields must reproduce exactly on any host.
     """
-    trace = pack_trace(build_trace(workload, scale=scale))
+    trace = build_workload(workload, scale=scale)
     sim = Simulator(experiment_config(), policy)
     result = sim.run(trace)
     return result, sim.fused_replay
@@ -74,7 +73,7 @@ def run_macro(
     config = experiment_config()
     entries: List[Dict[str, object]] = []
     for workload in workloads:
-        trace = pack_trace(build_trace(workload, scale=scale))
+        trace = build_workload(workload, scale=scale)
         accesses = len(trace)
         for policy in policies:
             if not quick:

@@ -83,11 +83,26 @@ def histogram_bar(percent: float, full_scale: float = 50.0, width: int = 25) -> 
 
 
 def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
-    from repro.workloads import BENCHMARKS
+    """Default to the full surrogate matrix; validate explicit specs.
+
+    Explicit entries may be any workload registry spec (composed or
+    imported, not just surrogate names); unparseable ones raise
+    ``KeyError`` listing every offender at once.
+    """
+    from repro.workloads import (
+        BENCHMARKS,
+        WorkloadSpecError,
+        parse_workload_spec,
+    )
 
     if benchmarks is None:
         return list(BENCHMARKS)
-    unknown = [name for name in benchmarks if name not in BENCHMARKS]
+    unknown = []
+    for name in benchmarks:
+        try:
+            parse_workload_spec(name)
+        except (KeyError, WorkloadSpecError):
+            unknown.append(name)
     if unknown:
         raise KeyError("unknown benchmarks: %s" % ", ".join(unknown))
     return list(benchmarks)

@@ -13,7 +13,7 @@ from typing import Optional
 from repro.experiments.common import Report
 from repro.sim.runner import trace_scale
 from repro.sim.simulator import Simulator
-from repro.workloads import build_trace, experiment_config
+from repro.workloads import build_workload, experiment_config
 
 #: Sampling interval in retired instructions (the paper uses 10M on
 #: 250M-instruction runs; scaled to our surrogate length).
@@ -33,7 +33,7 @@ def run(scale: Optional[float] = None, benchmarks=None) -> Report:
         simulator = Simulator(
             experiment_config(), policy, phase_interval=SAMPLE_INTERVAL
         )
-        results[policy] = simulator.run(build_trace("ammp", scale=scale))
+        results[policy] = simulator.run(build_workload("ammp", scale=scale))
 
     n_samples = min(len(results[p].phases) for p in POLICIES)
     rows_ipc = []

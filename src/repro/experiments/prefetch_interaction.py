@@ -16,7 +16,7 @@ from repro.cpu.prefetch import StridePrefetcher
 from repro.experiments.common import Report, fmt_pct, resolve_benchmarks
 from repro.sim.runner import trace_scale
 from repro.sim.simulator import Simulator
-from repro.workloads import build_trace, experiment_config
+from repro.workloads import build_workload, experiment_config
 
 DEFAULT_BENCHMARKS = ("art", "mcf", "vpr", "lucas")
 
@@ -26,7 +26,7 @@ def _run(benchmark: str, policy: str, prefetch: bool, scale: float):
     simulator = Simulator(
         experiment_config(), policy, prefetcher=prefetcher
     )
-    return simulator.run(build_trace(benchmark, scale=scale)), simulator
+    return simulator.run(build_workload(benchmark, scale=scale)), simulator
 
 
 def run(

@@ -19,7 +19,7 @@ from repro.config import MSHRConfig, scaled_config
 from repro.experiments.common import Report, fmt_pct
 from repro.sim.runner import trace_scale
 from repro.sim.simulator import Simulator
-from repro.workloads import build_trace
+from repro.workloads import build_workload
 
 L2_SIZES_KB = (64, 128, 256, 512)
 MSHR_SIZES = (1, 2, 4, 8, 32)
@@ -27,8 +27,8 @@ DEFAULT_BENCHMARK = "mcf"
 
 
 def _gain(config, benchmark: str, scale: float) -> float:
-    lru = Simulator(config, "lru").run(build_trace(benchmark, scale=scale))
-    lin = Simulator(config, "lin(4)").run(build_trace(benchmark, scale=scale))
+    lru = Simulator(config, "lru").run(build_workload(benchmark, scale=scale))
+    lin = Simulator(config, "lin(4)").run(build_workload(benchmark, scale=scale))
     if lru.ipc <= 0:
         return 0.0
     return 100.0 * (lin.ipc - lru.ipc) / lru.ipc
@@ -63,7 +63,7 @@ def run(
             scaled_config(256), mshr=MSHRConfig(n_entries=entries)
         )
         lru = Simulator(config, "lru").run(
-            build_trace(mshr_benchmark, scale=scale)
+            build_workload(mshr_benchmark, scale=scale)
         )
         gain = _gain(config, mshr_benchmark, scale)
         rows.append(

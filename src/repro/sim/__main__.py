@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.sim --benchmark mcf --policy "lin(4)"
+    python -m repro.sim --workload "interleave(mcf,art)" --policy sbar
+    python -m repro.sim --workload "champsim:/traces/server.xz" --policy lru
     python -m repro.sim --benchmark ammp --policy sbar --phase-interval 500000
     python -m repro.sim --trace my_trace.npz --policy lru --l2-kb 1024
 
@@ -23,7 +25,7 @@ import sys
 from repro.config import scaled_config
 from repro.sim import common_cli
 from repro.sim.simulator import Simulator
-from repro.trace.trace_io import load_trace
+from repro.trace.trace_io import open_trace
 from repro.workloads import BENCHMARKS, experiment_config
 
 
@@ -39,7 +41,15 @@ def main(argv=None) -> int:
         "--benchmark", choices=BENCHMARKS, help="SPEC CPU2000 surrogate"
     )
     source.add_argument(
-        "--trace", metavar="FILE.npz", help="trace saved by repro.trace.trace_io"
+        "--workload", metavar="SPEC",
+        help='any workload registry spec, e.g. "interleave(mcf,art)", '
+             '"champsim:/path.xz", "cdf(web_search,ops=2e6)" '
+             "(python -m repro.workloads --list)",
+    )
+    source.add_argument(
+        "--trace", metavar="FILE",
+        help="trace file: native .npz or ChampSim/lackey text "
+             "(gzip/xz ok; format sniffed from content)",
     )
     parser.add_argument(
         "--policy", default="lru",
@@ -66,11 +76,13 @@ def main(argv=None) -> int:
     config = (
         scaled_config(args.l2_kb) if args.l2_kb else experiment_config()
     )
-    if args.benchmark:
+    workload = args.benchmark or args.workload
+    if workload:
         from repro.sim.runner import run_policy
+        from repro.workloads import canonical_workload_spec
 
         result = run_policy(
-            args.benchmark,
+            workload,
             args.policy,
             scale=args.scale,
             config=config,
@@ -78,9 +90,9 @@ def main(argv=None) -> int:
             options=options,
         )
         print("workload: %s  (%d instructions)"
-              % (args.benchmark, result.instructions))
+              % (canonical_workload_spec(workload), result.instructions))
     else:
-        trace = load_trace(args.trace)
+        trace = open_trace(args.trace)
         simulator = Simulator(
             config, args.policy, phase_interval=args.phase_interval
         )

@@ -406,7 +406,20 @@ def run_grid(
     interrupted = False
     try:
         for task in ordered:
-            cached, provenance = _resolve_cached(task, options.use_cache)
+            try:
+                cached, provenance = _resolve_cached(
+                    task, options.use_cache
+                )
+            except (KeyError, ValueError) as exc:
+                # An unparseable workload spec surfaces here (keys
+                # canonicalize the spec parent-side, before any worker
+                # sees the task); make it a per-cell failure like an
+                # unknown policy, not a matrix-wide crash.
+                record_failure(
+                    task, str(exc) or repr(exc), 0.0, None, 0,
+                    traceback.format_exc(),
+                )
+                continue
             if cached is not None:
                 results[task] = cached
                 resumed = (

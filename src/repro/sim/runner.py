@@ -32,10 +32,13 @@ _UNSET = object()
 _CACHE: Dict[Tuple, SimResult] = {}
 
 #: Per-process memo of built (and packed) workload traces, keyed on
-#: (benchmark, scale).  Synthesizing a macro trace costs ~100ms and grid
-#: fan-out used to pay it once per *task*; with the memo each worker
-#: process synthesizes each workload at most once (workers inherit this
-#: module, so :mod:`repro.sim.parallel` gets the benefit for free).
+#: (canonical workload spec, scale).  Synthesizing a macro trace costs
+#: ~100ms and grid fan-out used to pay it once per *task*; with the
+#: memo each worker process builds each workload at most once (workers
+#: inherit this module, so :mod:`repro.sim.parallel` gets the benefit
+#: for free).  Keying on the *canonical spec* — not the given spelling
+#: — means ``" MCF "`` and ``"mcf"`` share an entry while distinct
+#: specs (``"mcf"`` vs ``"interleave(mcf,art)"``) can never alias.
 #: Packed columns are ~10x smaller than Access lists, which is what
 #: makes caching several workloads at once affordable.
 _TRACE_CACHE: Dict[Tuple[str, float], PackedTrace] = {}
@@ -57,24 +60,26 @@ def trace_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 
 
-def packed_trace(benchmark: str, scale: Optional[float] = None) -> PackedTrace:
-    """The packed trace for one benchmark surrogate, memoized per process.
+def packed_trace(benchmark, scale: Optional[float] = None) -> PackedTrace:
+    """The packed trace for one workload spec, memoized per process.
 
-    Equivalent to ``pack_trace(workloads.build_trace(benchmark,
-    scale=scale))`` but each (benchmark, scale) pair is synthesized at
-    most :data:`TRACE_CACHE_MAX`-bounded once per process.  Synthesis is
-    deterministic, so the memo can never serve a stale trace.
+    ``benchmark`` is any registry workload spec (a surrogate name, an
+    imported trace, a composition — see
+    :func:`repro.workloads.parse_workload_spec`) or a ready
+    :class:`~repro.workloads.Workload`.  Each (canonical spec, scale)
+    pair is built at most :data:`TRACE_CACHE_MAX`-bounded once per
+    process.  Builds are deterministic, so the memo can never serve a
+    stale trace.
     """
-    from repro import workloads  # deferred: workloads import the sim layer
+    from repro.workloads import parse_workload_spec
 
+    workload = parse_workload_spec(benchmark)
     if scale is None:
         scale = trace_scale()
-    key = (benchmark, scale)
+    key = (workload.canonical, scale)
     packed = _TRACE_CACHE.get(key)
     if packed is None:
-        packed = PackedTrace.from_accesses(
-            workloads.build_trace(benchmark, scale=scale)
-        )
+        packed = workload.build(scale)
         if len(_TRACE_CACHE) >= TRACE_CACHE_MAX:
             _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
         _TRACE_CACHE[key] = packed
@@ -85,20 +90,25 @@ def packed_trace(benchmark: str, scale: Optional[float] = None) -> PackedTrace:
 
 
 def _memo_key(
-    benchmark: str,
+    benchmark,
     policy_spec: str,
     scale: float,
     config: Optional[MachineConfig],
     phase_interval: Optional[int],
 ) -> Tuple:
+    from repro.workloads import canonical_workload_spec
+
     # Metrics enablement is part of the key: a result computed with
     # telemetry off has no metrics snapshot to serve once it's on.
-    return (benchmark, policy_spec.strip().lower(), scale, config,
+    # The workload canonicalizes like the policy spec does, so two
+    # spellings of one spec share an entry and two specs never alias.
+    return (canonical_workload_spec(benchmark),
+            policy_spec.strip().lower(), scale, config,
             phase_interval, obs.metrics_enabled())
 
 
 def run_policy(
-    benchmark: str,
+    benchmark,
     policy_spec: str,
     scale: Optional[float] = None,
     config: Optional[MachineConfig] = None,
@@ -106,9 +116,13 @@ def run_policy(
     use_cache=_UNSET,
     options: Optional[RunOptions] = None,
 ) -> SimResult:
-    """Simulate one benchmark surrogate under one policy.
+    """Simulate one workload under one policy.
 
-    ``policy_spec`` is a registry spec string (see
+    ``benchmark`` is any workload spec — a surrogate name (``"mcf"``),
+    an imported trace (``"champsim:/path.xz"``), or a composition
+    (``"interleave(mcf,art)"``); see
+    :func:`repro.workloads.parse_workload_spec`.  ``policy_spec`` is a
+    policy registry spec string (see
     :func:`repro.cache.replacement.registry.parse_policy_spec`).
     Results come from the in-process memo, then the persistent store,
     then a fresh simulation; ``RunOptions(use_cache=False)`` forces the
@@ -163,7 +177,7 @@ def run_policy(
         store.save(
             persistent_key,
             result,
-            benchmark=benchmark,
+            workload=key[0],  # canonical spec (JSON-safe)
             policy_spec=policy_spec,
             scale=scale,
             phase_interval=phase_interval,

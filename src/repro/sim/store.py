@@ -9,11 +9,13 @@ result, so repeat runs are free across processes and across sessions:
 * **Location** — ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``.
   Set ``REPRO_NO_STORE=1`` to disable persistence entirely (the
   in-process memo still works).
-* **Keying** — a SHA-256 over the benchmark name, canonical policy
-  spec, trace scale, full machine config, phase interval, the repro
-  package's source hash, and (for user-registered policies) the
-  factory's source hash.  Any code or configuration change therefore
-  misses cleanly instead of returning stale results.
+* **Keying** — a SHA-256 over the canonical workload spec (plus its
+  content fingerprint: imported trace files hash their bytes),
+  canonical policy spec, trace scale, full machine config, phase
+  interval, the repro package's source hash, and (for user-registered
+  policies) the factory's source hash.  Any code, configuration, or
+  workload-content change therefore misses cleanly instead of
+  returning stale results.
 * **Format** — one JSON file per key holding the key fields (for
   debugging) and ``SimResult.to_dict()``.  Floats round-trip
   bit-identically through Python's json, so a stored result is
@@ -38,11 +40,13 @@ from repro import obs
 from repro.config import MachineConfig
 from repro.sim.stats import SimResult
 
-# Version 3: every payload carries the writing code version and a
-# content digest over the result; reads verify the digest and
-# quarantine corrupt or tampered entries instead of serving them.
-# (Version 2 added telemetry snapshots and a metrics flag in the key.)
-_FORMAT_VERSION = 3
+# Version 4: keys identify workloads by canonical registry spec plus a
+# workload content fingerprint (imported trace files hash their bytes),
+# so composed/imported workloads key exactly like surrogates and a
+# changed trace file invalidates instead of aliasing.
+# (Version 3 added payload content digests with read-side quarantine;
+# version 2 added telemetry snapshots and a metrics flag in the key.)
+_FORMAT_VERSION = 4
 
 _code_version: Optional[str] = None
 
@@ -67,18 +71,28 @@ def code_version() -> str:
 
 
 def store_key(
-    benchmark: str,
+    benchmark,
     policy_spec: str,
     scale: float,
     config: MachineConfig,
     phase_interval: Optional[int] = None,
 ) -> str:
-    """Content hash identifying one simulation, stable across processes."""
+    """Content hash identifying one simulation, stable across processes.
+
+    ``benchmark`` is any workload spec; the key holds its *canonical*
+    spelling plus the workload's content fingerprint, so spellings of
+    one spec share a key, distinct specs never alias, and an imported
+    trace file silently replaced on disk misses cleanly.
+    """
     from repro.cache.replacement.registry import policy_fingerprint
+    from repro.workloads import (
+        canonical_workload_spec,
+        workload_fingerprint,
+    )
 
     fields = {
         "version": _FORMAT_VERSION,
-        "benchmark": benchmark,
+        "workload": canonical_workload_spec(benchmark),
         "policy_spec": policy_spec.strip().lower(),
         "scale": repr(float(scale)),
         "config": asdict(config),
@@ -86,6 +100,7 @@ def store_key(
         "metrics": obs.metrics_enabled(),
         "code": code_version(),
         "policy_code": policy_fingerprint(policy_spec),
+        "workload_code": workload_fingerprint(benchmark),
     }
     blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]

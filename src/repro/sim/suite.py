@@ -224,7 +224,10 @@ def run_suite(
 ) -> SuiteResult:
     """Run the matrix; the first policy is the baseline column.
 
-    Execution knobs travel in ``options``
+    ``benchmarks`` entries are workload registry specs — surrogate
+    names, imported traces (``"champsim:/path.xz"``), or compositions
+    (``"interleave(mcf,art)"``); rows and cells keep the spelling they
+    were given.  Execution knobs travel in ``options``
     (:class:`~repro.sim.options.RunOptions`); the bare ``workers`` /
     ``use_cache`` / ``timeout`` / ``retries`` / ``progress`` keywords
     are deprecated shims that fold into one.
@@ -355,7 +358,12 @@ def main(argv=None) -> int:
         help="comma-separated policy specs (first = baseline); commas "
              'inside parens are safe: "lru,sbar(simple-static,16)"',
     )
-    parser.add_argument("--benchmarks", default=None)
+    parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated workload specs (default: the 14 "
+             'surrogates); composed/imported specs work: '
+             '"mcf,interleave(mcf,art),champsim:/path.xz"',
+    )
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--json", metavar="FILE", default=None)
     parser.add_argument("--csv", metavar="FILE", default=None)

@@ -142,6 +142,62 @@ class PackedTrace:
         """Materialize the packed records back into ``Access`` objects."""
         return list(self)
 
+    def slice(self, start: int, stop: int) -> "PackedTrace":
+        """A new trace holding records ``[start, stop)`` (column copy).
+
+        The workload composition operators (clip, interleave) are built
+        on this; slicing stays at C speed because ``array`` slicing
+        copies whole buffers.  Indices clamp like list slicing.
+        """
+        n = len(self._addresses)
+        start = max(0, min(n, start))
+        stop = max(start, min(n, stop))
+        addresses = self._addresses[start:stop]
+        kinds = self._kinds[start:stop]
+        gaps = self._gaps[start:stop]
+        count = stop - start
+        wrong_bits = bytearray((count + 7) // 8)
+        n_wrong = 0
+        if self._n_wrong:
+            bits = self._wrong_bits
+            for offset in range(count):
+                index = start + offset
+                if bits[index >> 3] >> (index & 7) & 1:
+                    wrong_bits[offset >> 3] |= 1 << (offset & 7)
+                    n_wrong += 1
+        return PackedTrace(addresses, kinds, gaps, wrong_bits, n_wrong)
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["PackedTrace"]) -> "PackedTrace":
+        """Join traces end to end into one new trace.
+
+        Columns extend buffer-to-buffer; the wrong-path bitset only
+        needs per-record work for the (rare) traces that carry
+        wrong-path records.
+        """
+        addresses = array("q")
+        kinds = array("b")
+        gaps = array("q")
+        total = sum(len(trace) for trace in traces)
+        wrong_bits = bytearray((total + 7) // 8)
+        n_wrong = 0
+        base = 0
+        for trace in traces:
+            if not isinstance(trace, PackedTrace):
+                trace = PackedTrace.from_accesses(trace)
+            addresses.extend(trace._addresses)
+            kinds.extend(trace._kinds)
+            gaps.extend(trace._gaps)
+            if trace._n_wrong:
+                bits = trace._wrong_bits
+                for offset in range(len(trace)):
+                    if bits[offset >> 3] >> (offset & 7) & 1:
+                        index = base + offset
+                        wrong_bits[index >> 3] |= 1 << (index & 7)
+                        n_wrong += 1
+            base += len(trace)
+        return cls(addresses, kinds, gaps, wrong_bits, n_wrong)
+
     # -- sequence protocol --------------------------------------------
 
     def __len__(self) -> int:

@@ -1,24 +1,35 @@
-"""Trace persistence: save/load access traces as compact npz files.
+"""Trace persistence: one sniffing loader, npz save, thin wrappers.
 
 Surrogate traces are deterministic, but saving them is useful for
 sharing exact inputs across machines, for diffing generator versions,
 and for feeding externally captured traces into the simulator.  The
-format is four parallel numpy arrays (address, kind, gap, wrong_path)
-plus a format version.
+native format is four parallel numpy arrays (address, kind, gap,
+wrong_path) plus a format version, in a compressed ``.npz``.
+
+Loading goes through one front door: :func:`open_trace` sniffs the
+file's *content* — zip magic means the packed npz record format; gzip,
+xz, or plain text routes to the streaming text importers of
+:mod:`repro.trace.importers` (ChampSim-style vs valgrind-lackey lines,
+also sniffed) — and always returns a
+:class:`~repro.trace.packed.PackedTrace`.  The historical
+:func:`load_trace` / :func:`load_packed_trace` remain as thin wrappers
+over it.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import List
 
 import numpy as np
 
 from repro.trace.packed import PackedTrace
-from repro.trace.record import Access, Trace
+from repro.trace.record import Trace
 
-#: Bump when the on-disk layout changes.
+#: Bump when the on-disk npz layout changes.
 FORMAT_VERSION = 1
+
+#: Zip local-file-header magic: every np.savez archive starts with it.
+_ZIP_MAGIC = b"PK"
 
 
 def save_trace(path: str, trace: Trace) -> None:
@@ -61,30 +72,9 @@ def _load_columns(path: str):
         return data["address"], data["kind"], data["gap"], data["wrong_path"]
 
 
-def load_trace(path: str) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    addresses, kinds, gaps, wrong = _load_columns(path)
-    trace: List[Access] = []
-    for index in range(len(addresses)):
-        trace.append(
-            Access(
-                int(addresses[index]),
-                int(kinds[index]),
-                int(gaps[index]),
-                bool(wrong[index]),
-            )
-        )
-    return trace
-
-
-def load_packed_trace(path: str) -> PackedTrace:
-    """Read a trace file straight into a :class:`PackedTrace`.
-
-    The on-disk layout is already columnar, so the columns transfer
-    without materializing a single ``Access``.  Files come from outside
-    the package, so the packed constructor path re-validates the
-    columns in bulk.
-    """
+def _load_packed_npz(path: str) -> PackedTrace:
+    """The native npz record format, columns straight into a
+    :class:`PackedTrace` (no ``Access`` objects materialized)."""
     addresses, kinds, gaps, wrong = _load_columns(path)
     n = len(addresses)
     wrong_bits = bytearray((n + 7) // 8)
@@ -101,3 +91,39 @@ def load_packed_trace(path: str) -> PackedTrace:
     )
     packed.validate()
     return packed
+
+
+def open_trace(path: str) -> PackedTrace:
+    """Load any supported trace file as a :class:`PackedTrace`.
+
+    Format detection is by content, never by extension:
+
+    * zip magic (``PK``) — the native :func:`save_trace` npz layout;
+    * anything else — a text trace, possibly gzip/xz-compressed
+      (magic-sniffed), in ChampSim-style or valgrind-lackey line
+      format (first-lines-sniffed).
+
+    Files come from outside the package, so every path re-validates
+    the columns in bulk before returning.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(2)
+    if magic == _ZIP_MAGIC:
+        return _load_packed_npz(path)
+    from repro.trace import importers
+
+    if importers.sniff_text_format(path) == "lackey":
+        return importers.load_lackey(path)
+    return importers.load_champsim(path)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace file as a list of ``Access`` records (thin wrapper
+    over :func:`open_trace`)."""
+    return open_trace(path).to_accesses()
+
+
+def load_packed_trace(path: str) -> PackedTrace:
+    """Read a trace file as a :class:`PackedTrace` (thin wrapper over
+    :func:`open_trace`)."""
+    return open_trace(path)

@@ -1,4 +1,4 @@
-"""SPEC CPU2000 surrogate workloads.
+"""Workloads: SPEC CPU2000 surrogates plus the workload registry.
 
 The paper evaluates on 14 SPEC CPU2000 SimPoint slices.  Without the
 Alpha binaries and reference inputs, each benchmark is replaced by a
@@ -13,13 +13,36 @@ benchmark's published fingerprint:
   helps (mcf, vpr, art, ...) or hurts (bzip2, parser, mgrid), and
 * phase structure (ammp's two alternating phases, Section 7.1).
 
-``build_trace(name)`` produces the surrogate trace;
+Beyond the surrogates, :mod:`repro.workloads.registry` opens the
+scenario space: imported address traces (``champsim:/path.xz``),
+CDF-driven datacenter streams (``cdf(web_search,ops=2e6)``), and
+composition operators (``interleave(mcf,art)``, ``splice(mcf@0.5,
+ammp)``, ``scale(twolf,0.25)``) are all first-class workload specs —
+usable anywhere a benchmark name is, including CLIs and the persistent
+result store.  ``build_workload(spec)`` produces the packed trace;
 ``experiment_config()`` is the Table 2 machine with the L2 scaled to
 256 KB so that working-set effects converge within Python-feasible
 trace lengths (see DESIGN.md section 2).
 """
 
+import warnings
+from typing import Optional
+
+from repro.trace.record import Trace
 from repro.workloads.engine import SurrogateSpec, generate_surrogate
+from repro.workloads.registry import (
+    SurrogateWorkload,
+    UnknownWorkloadError,
+    Workload,
+    WorkloadSpecError,
+    available_workloads,
+    build_workload,
+    canonical_workload_spec,
+    parse_workload_spec,
+    register_workload,
+    split_specs,
+    workload_fingerprint,
+)
 from repro.workloads.spec2000 import (
     BENCHMARKS,
     PAPER_FIG5,
@@ -27,9 +50,40 @@ from repro.workloads.spec2000 import (
     PAPER_TABLE1,
     PAPER_TABLE3,
     SPECS,
-    build_trace,
     experiment_config,
 )
+
+
+def build_trace(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> Trace:
+    """Deprecated: build a workload's trace as an ``Access`` list.
+
+    Routed through the registry, so ``name`` may be any workload spec,
+    not just a surrogate name.  New code should call
+    :func:`build_workload`, which returns the packed column form every
+    execution path now consumes.
+    """
+    warnings.warn(
+        "repro.workloads.build_trace() is deprecated; use "
+        "build_workload(spec) (PackedTrace) or parse_workload_spec()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    workload = parse_workload_spec(name)
+    if seed is not None:
+        reseed = getattr(workload, "with_seed", None)
+        if reseed is None:
+            raise ValueError(
+                "seed override is not supported for workload %r"
+                % canonical_workload_spec(workload)
+            )
+        workload = reseed(seed)
+    accesses = getattr(workload, "build_accesses", None)
+    if accesses is not None:
+        return accesses(scale)
+    return workload.build(scale).to_accesses()
+
 
 __all__ = [
     "SurrogateSpec",
@@ -37,7 +91,18 @@ __all__ = [
     "SPECS",
     "BENCHMARKS",
     "build_trace",
+    "build_workload",
     "experiment_config",
+    "Workload",
+    "SurrogateWorkload",
+    "register_workload",
+    "parse_workload_spec",
+    "available_workloads",
+    "canonical_workload_spec",
+    "workload_fingerprint",
+    "split_specs",
+    "UnknownWorkloadError",
+    "WorkloadSpecError",
     "PAPER_TABLE1",
     "PAPER_TABLE3",
     "PAPER_FIG5",

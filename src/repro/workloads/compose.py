@@ -1,0 +1,275 @@
+"""Workload composition operators and trace-file workloads.
+
+These are the :class:`~repro.workloads.registry.Workload` classes
+behind the ``champsim:``/``lackey:``/``trace:`` importers and the
+``interleave``/``splice``/``scale``/``@FRAC`` spec operators.  Each one
+is a pure description — building is deferred to :meth:`build`, so
+composed specs parse cheaply and the runner's trace memo caches the
+expensive part under the canonical spec string.
+
+Operators lift any registered workload into derived scenarios::
+
+    splice(mcf@0.5,ammp)          # phase change: half of mcf, then ammp
+    interleave(mcf,art,quantum=64)  # multiprogrammed round-robin
+    scale(twolf,0.25)             # fixed length rescale, composable
+    champsim:/traces/srv.xz@0.1   # first 10% of an imported trace
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional, Sequence, Tuple
+
+from repro.trace.packed import PackedTrace
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    Workload,
+    WorkloadSpecError,
+    available_workloads,
+    format_number,
+)
+
+#: Cache of imported-file content hashes, keyed on (path, size, mtime).
+_FILE_HASHES: dict = {}
+
+
+def require_workload(value) -> Workload:
+    """Validate an operator argument resolved by the spec parser.
+
+    Unregistered leaf names reach operators as plain strings (the
+    parser cannot distinguish ``interleave(mcf,bogus)`` from a scalar
+    argument), so the operators themselves must reject them.
+    """
+    if isinstance(value, Workload):
+        return value
+    if isinstance(value, str):
+        raise UnknownWorkloadError(
+            "unknown workload %r; available workloads: %s"
+            % (value, ", ".join(available_workloads()))
+        )
+    raise WorkloadSpecError(
+        "expected a workload, got %r" % (value,)
+    )
+
+
+def _combine_fingerprints(children: Sequence[Workload]) -> str:
+    prints = [child.fingerprint() for child in children]
+    if all(print_ == "builtin" for print_ in prints):
+        return "builtin"
+    return hashlib.sha256(
+        "\x00".join(prints).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+class ClipWorkload(Workload):
+    """``child@FRAC``: the leading fraction of a workload's records."""
+
+    def __init__(self, child: Workload, fraction: float) -> None:
+        self.child = require_workload(child)
+        self.fraction = float(fraction)
+        if not 0.0 < self.fraction <= 1.0:
+            raise WorkloadSpecError(
+                "clip fraction must be in (0, 1], got %r" % fraction
+            )
+
+    @property
+    def canonical(self) -> str:
+        return "%s@%s" % (self.child.canonical, format_number(self.fraction))
+
+    def fingerprint(self) -> str:
+        return self.child.fingerprint()
+
+    def build(self, scale: float = 1.0) -> PackedTrace:
+        trace = self.child.build(scale)
+        return trace.slice(0, max(1, int(len(trace) * self.fraction)))
+
+
+class ScaleWorkload(Workload):
+    """``scale(child,FACTOR)``: a fixed trace-length rescale.
+
+    Unlike the global ``scale=`` run knob, this bakes the factor into
+    the workload itself, so a suite can mix full-length and shortened
+    variants of the same benchmark in one matrix.
+    """
+
+    def __init__(self, child: Workload, factor: float) -> None:
+        self.child = require_workload(child)
+        self.factor = float(factor)
+        if self.factor <= 0:
+            raise WorkloadSpecError(
+                "scale factor must be positive, got %r" % factor
+            )
+
+    @property
+    def canonical(self) -> str:
+        return "scale(%s,%s)" % (
+            self.child.canonical, format_number(self.factor)
+        )
+
+    def fingerprint(self) -> str:
+        return self.child.fingerprint()
+
+    def build(self, scale: float = 1.0) -> PackedTrace:
+        return self.child.build(scale * self.factor)
+
+
+class SpliceWorkload(Workload):
+    """``splice(a,b,...)``: children end to end — a phase-change trace."""
+
+    def __init__(self, children: Sequence[Workload]) -> None:
+        if len(children) < 2:
+            raise WorkloadSpecError("splice needs at least two workloads")
+        self.children: Tuple[Workload, ...] = tuple(
+            require_workload(child) for child in children
+        )
+
+    @property
+    def canonical(self) -> str:
+        return "splice(%s)" % ",".join(
+            child.canonical for child in self.children
+        )
+
+    def fingerprint(self) -> str:
+        return _combine_fingerprints(self.children)
+
+    def build(self, scale: float = 1.0) -> PackedTrace:
+        return PackedTrace.concatenate(
+            [child.build(scale) for child in self.children]
+        )
+
+
+class InterleaveWorkload(Workload):
+    """``interleave(a,b,...,quantum=N)``: round-robin multiprogramming.
+
+    Children take turns emitting ``quantum`` consecutive records until
+    every child is drained — the classic shared-cache multiprogram mix.
+    Shorter children simply drop out of the rotation, so the composed
+    trace contains every record of every child exactly once.
+    """
+
+    def __init__(self, children: Sequence[Workload], quantum: int = 64) -> None:
+        if len(children) < 2:
+            raise WorkloadSpecError(
+                "interleave needs at least two workloads"
+            )
+        self.children: Tuple[Workload, ...] = tuple(
+            require_workload(child) for child in children
+        )
+        self.quantum = int(quantum)
+        if self.quantum < 1:
+            raise WorkloadSpecError(
+                "interleave quantum must be >= 1, got %r" % quantum
+            )
+
+    @property
+    def canonical(self) -> str:
+        return "interleave(%s,quantum=%d)" % (
+            ",".join(child.canonical for child in self.children),
+            self.quantum,
+        )
+
+    def fingerprint(self) -> str:
+        return _combine_fingerprints(self.children)
+
+    def build(self, scale: float = 1.0) -> PackedTrace:
+        traces = [child.build(scale) for child in self.children]
+        cursors = [0] * len(traces)
+        chunks = []
+        live = True
+        while live:
+            live = False
+            for index, trace in enumerate(traces):
+                start = cursors[index]
+                if start >= len(trace):
+                    continue
+                stop = min(start + self.quantum, len(trace))
+                chunks.append(trace.slice(start, stop))
+                cursors[index] = stop
+                live = True
+        return PackedTrace.concatenate(chunks)
+
+
+class ImportedWorkload(Workload):
+    """A trace file on disk, addressed as ``champsim:``/``lackey:``/
+    ``trace:`` (auto-sniffed) specs.
+
+    ``scale`` < 1 clips the imported trace to its leading fraction
+    (a real trace cannot be lengthened, so factors above 1 clamp to
+    the full trace).  The fingerprint hashes the file *bytes* — cached
+    per (path, size, mtime) — so results stored for a spec invalidate
+    when the file's content changes under the same path.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        path: str,
+        gap: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.path = path
+        self.gap = None if gap is None else int(gap)
+        self.limit = None if limit is None else int(limit)
+
+    @property
+    def canonical(self) -> str:
+        options = []
+        if self.gap is not None:
+            options.append("gap=%d" % self.gap)
+        if self.limit is not None:
+            options.append("limit=%d" % self.limit)
+        if not options:
+            return "%s:%s" % (self.kind, self.path)
+        return "%s(%s,%s)" % (self.kind, self.path, ",".join(options))
+
+    def fingerprint(self) -> str:
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return "missing"
+        cache_key = (self.path, stat.st_size, stat.st_mtime_ns)
+        cached = _FILE_HASHES.get(cache_key)
+        if cached is None:
+            hasher = hashlib.sha256()
+            with open(self.path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    hasher.update(chunk)
+            cached = hasher.hexdigest()[:16]
+            _FILE_HASHES[cache_key] = cached
+        return cached
+
+    def _load(self) -> PackedTrace:
+        from repro.trace import importers
+
+        if self.kind == "champsim":
+            return importers.load_champsim(
+                self.path, gap=self.gap, limit=self.limit
+            )
+        if self.kind == "lackey":
+            return importers.load_lackey(self.path, limit=self.limit)
+        from repro.trace.trace_io import open_trace
+
+        trace = open_trace(self.path)
+        if self.limit is not None:
+            trace = trace.slice(0, self.limit)
+        return trace
+
+    def build(self, scale: float = 1.0) -> PackedTrace:
+        trace = self._load()
+        if scale != 1.0 and len(trace):
+            keep = max(1, min(len(trace), int(round(len(trace) * scale))))
+            if keep < len(trace):
+                trace = trace.slice(0, keep)
+        return trace
+
+
+__all__ = [
+    "ClipWorkload",
+    "ScaleWorkload",
+    "SpliceWorkload",
+    "InterleaveWorkload",
+    "ImportedWorkload",
+    "require_workload",
+]
