@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-pytest suite chaos workload-zoo experiments experiments-fast examples lint clean
+.PHONY: install test bench bench-quick bench-pytest suite oracle chaos workload-zoo experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,15 @@ bench-pytest:
 suite:
 	$(PYTHON) -m repro.sim.suite --policies "lru,lin(4)" \
 		--benchmarks mcf,art --workers 2 --scale 0.25 --progress
+
+# Oracle referee smoke (also run by CI): the property battery plus one
+# suite cell under --oracle; regrets must be non-negative and columns
+# bit-identical serial vs parallel.
+oracle:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_oracle.py -q
+	PYTHONPATH=src $(PYTHON) -m repro.sim.suite \
+		--policies "lru,lin(4),ehc,awrp" --benchmarks mcf,art \
+		--scale 0.25 --oracle
 
 # Seeded chaos differential (also run by CI): injected crashes, delays,
 # and store corruption must not change the suite's content digest.

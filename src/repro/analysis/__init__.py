@@ -7,14 +7,24 @@
   the implied miss rate for any cache size.
 * :mod:`repro.analysis.residency` — snapshot statistics of what is
   resident in a cache (cost_q composition, per-set occupancy).
+* :mod:`repro.analysis.oracle` — offline OPT and cost-weighted OPT
+  miss/stall lower bounds (the regret referee behind ``--oracle``).
 """
 
 from repro.analysis.attribution import ClassifiedRun, attach_classifier
 from repro.analysis.reuse import ReuseProfile, reuse_distance_profile
 from repro.analysis.residency import ResidencySnapshot, snapshot_cache
 from repro.analysis.firstorder import CPIBreakdown, predict_cycles
+from repro.analysis.oracle import (
+    OracleReport,
+    annotate_result,
+    oracle_report,
+)
 
 __all__ = [
+    "OracleReport",
+    "annotate_result",
+    "oracle_report",
     "attach_classifier",
     "ClassifiedRun",
     "reuse_distance_profile",

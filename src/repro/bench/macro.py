@@ -23,8 +23,12 @@ from repro.sim.simulator import Simulator
 from repro.workloads import build_workload, experiment_config
 
 #: Workloads × policies timed by ``run_macro`` (and ``make bench``).
+#: ehc/awrp track the Belady-approximation and weight-ranking
+#: newcomers' generic/fused-loop cost from the day they landed.
 MACRO_WORKLOADS = ("mcf", "art")
-MACRO_POLICIES = ("lru", "lin(4)", "sbar", "cbs-global", "cbs-local")
+MACRO_POLICIES = (
+    "lru", "lin(4)", "sbar", "cbs-global", "cbs-local", "ehc", "awrp",
+)
 
 
 def macro_result_fields(result) -> Dict[str, object]:
@@ -33,6 +37,7 @@ def macro_result_fields(result) -> Dict[str, object]:
         "l2_misses": result.l2_misses,
         "cycles": result.cycles,
         "demand_misses": result.demand_misses,
+        "stall_cycles": result.stall_cycles,
     }
 
 

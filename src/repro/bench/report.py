@@ -21,6 +21,13 @@ ran at, so any host can rebuild the exact trace) and ``fused`` (whether
 the run took the fused replay loop — a silent fall-back to the generic
 loop would otherwise read as a timing regression).
 
+v3 added ``stall_cycles`` to the embedded result fields: with the
+oracle's stall floor in the repo, stall behavior is now a first-class
+comparison axis, and a policy change that trades misses for stalls
+should trip the digest check even when miss counts happen to agree.
+v2 reports stay readable (``validate_report`` accepts both versions;
+``check_macro_cell`` compares only the fields a report recorded).
+
 ``validate_report`` is the single source of truth for that shape; the
 CI perf-smoke job and the bench CLI both call it, so a report that
 lands in the repo is guaranteed parseable by future tooling.
@@ -40,7 +47,11 @@ from typing import Dict, List, Optional
 
 #: Current report schema identifier; bump the suffix on breaking shape
 #: changes so old reports stay recognizable.
-SCHEMA = "repro.bench/v2"
+SCHEMA = "repro.bench/v3"
+
+#: Older schemas ``validate_report`` still accepts (committed baseline
+#: reports from earlier PRs must stay checkable).
+_LEGACY_SCHEMAS = ("repro.bench/v2",)
 
 _MICRO_FIELDS = {"name": str, "ops": int, "seconds": float,
                  "ops_per_sec": float}
@@ -48,7 +59,11 @@ _MACRO_FIELDS = {"workload": str, "policy": str, "accesses": int,
                  "scale": float, "seconds": float,
                  "accesses_per_sec": float, "fused": bool,
                  "result": dict}
-_RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int}
+_RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int,
+                  "stall_cycles": float}
+#: Result fields required per schema version (v3 added stall_cycles).
+_RESULT_FIELDS_V2 = {"l2_misses": int, "cycles": float,
+                     "demand_misses": int}
 
 
 def machine_fingerprint() -> Dict[str, object]:
@@ -126,13 +141,23 @@ def _check_fields(entry: object, spec: Dict[str, type], where: str) -> None:
 
 
 def validate_report(report: object) -> None:
-    """Raise ``ValueError`` when ``report`` violates the v2 schema."""
+    """Raise ``ValueError`` when ``report`` violates its schema.
+
+    Accepts the current v3 schema and the legacy v2 schema (whose
+    macro results lack ``stall_cycles``); committed baseline reports
+    from earlier PRs therefore stay valid.
+    """
     if not isinstance(report, dict):
         raise ValueError("report must be an object, got %r" % (report,))
-    if report.get("schema") != SCHEMA:
+    schema = report.get("schema")
+    if schema != SCHEMA and schema not in _LEGACY_SCHEMAS:
         raise ValueError(
-            "unknown schema %r (expected %r)" % (report.get("schema"), SCHEMA)
+            "unknown schema %r (expected %r or one of %r)"
+            % (schema, SCHEMA, _LEGACY_SCHEMAS)
         )
+    result_fields = (
+        _RESULT_FIELDS if schema == SCHEMA else _RESULT_FIELDS_V2
+    )
     for field, expected in (
         ("tag", str), ("created_unix", float), ("machine", dict),
         ("code_version", str), ("micro", list), ("macro", list),
@@ -150,7 +175,7 @@ def validate_report(report: object) -> None:
             raise ValueError("%s: timings must be positive" % where)
         if entry["scale"] <= 0:
             raise ValueError("%s: scale must be positive" % where)
-        _check_fields(entry["result"], _RESULT_FIELDS, where + ".result")
+        _check_fields(entry["result"], result_fields, where + ".result")
 
 
 def find_macro_cell(
@@ -182,10 +207,12 @@ def check_macro_cell(
     result, _fused = simulate_cell(workload, policy, entry["scale"])
     fresh = macro_result_fields(result)
     recorded = entry["result"]
+    # Compare only fields the report recorded: a legacy v2 baseline
+    # has no stall_cycles but its cells must stay checkable.
     mismatches = [
         "%s: recorded %r, simulated %r" % (field, recorded[field], fresh[field])
         for field in _RESULT_FIELDS
-        if recorded[field] != fresh[field]
+        if field in recorded and recorded[field] != fresh[field]
     ]
     if mismatches:
         raise ValueError(

@@ -9,12 +9,16 @@ of any generic cost-sensitive scheme".  This package provides:
 * :class:`CostThresholdPolicy` — a depth-limited cost-sensitive LRU in
   the spirit of Jeong & Dubois, used for ablations.
 * :class:`BeladyPolicy` — OPT, for the Figure 1 analysis.
+* :class:`EHCPolicy` — online expected-hit-count Belady approximation.
+* :class:`AWRPPolicy` — adaptive weight (recency + frequency) ranking.
 * :class:`FIFOPolicy`, :class:`RandomPolicy` — sanity baselines.
 """
 
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.replacement.lru import LRUPolicy, FIFOPolicy, RandomPolicy
 from repro.cache.replacement.belady import BeladyPolicy
+from repro.cache.replacement.ehc import EHCPolicy
+from repro.cache.replacement.awrp import AWRPPolicy
 from repro.cache.replacement.lin import LINPolicy, CostThresholdPolicy
 from repro.cache.replacement.registry import (
     available_policies,
@@ -29,6 +33,8 @@ __all__ = [
     "FIFOPolicy",
     "RandomPolicy",
     "BeladyPolicy",
+    "EHCPolicy",
+    "AWRPPolicy",
     "LINPolicy",
     "CostThresholdPolicy",
     "register_policy",

@@ -245,6 +245,20 @@ def _build_sbar(config, selection: Optional[str] = None, count=None):
     )
 
 
+@_builtin("ehc")
+def _build_ehc(config, horizon: Optional[str] = None):
+    from repro.cache.replacement.ehc import EHCPolicy
+
+    return EHCPolicy(int(horizon)) if horizon is not None else EHCPolicy()
+
+
+@_builtin("awrp")
+def _build_awrp(config, weight: Optional[str] = None):
+    from repro.cache.replacement.awrp import AWRPPolicy
+
+    return AWRPPolicy(float(weight)) if weight is not None else AWRPPolicy()
+
+
 @_builtin("plru")
 def _build_plru(config):
     from repro.cache.replacement.plru import TreePLRUPolicy

@@ -22,6 +22,7 @@ from repro.experiments import (
     figure9,
     figure10,
     figure11,
+    oracle_regret,
     overhead,
     table1,
     table2,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "figure10": figure10,
     "figure11": figure11,
     "cbs": cbs_comparison,
+    "oracle": oracle_regret,
     "overhead": overhead,
     "sensitivity": sensitivity,
     "dip": dip_comparison,

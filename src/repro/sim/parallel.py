@@ -142,6 +142,32 @@ class GridReport:
     run_id: Optional[str] = None
     interrupted: bool = False
     resilience: Dict[str, object] = field(default_factory=dict)
+    #: benchmark -> serialized OracleReport, set by
+    #: :meth:`annotate_oracle` (None when the grid ran without oracle
+    #: bounds); the matching regret fields live on each result.
+    oracle: Optional[Dict[str, Dict[str, object]]] = None
+
+    def annotate_oracle(self, reports) -> None:
+        """Stamp oracle bounds and regret onto every completed result.
+
+        ``reports`` maps benchmark spec to
+        :class:`repro.analysis.oracle.OracleReport`.  Results are
+        replaced with annotated copies (cached originals are never
+        mutated), so a grid annotated after a parallel run is
+        bit-identical to a serial run annotated the same way.
+        """
+        from repro.analysis.oracle import annotate_result
+
+        for task in list(self.results):
+            report = reports.get(task.benchmark)
+            if report is not None:
+                self.results[task] = annotate_result(
+                    self.results[task], report
+                )
+        self.oracle = {
+            benchmark: report.to_dict()
+            for benchmark, report in reports.items()
+        }
 
     @property
     def utilization(self) -> float:

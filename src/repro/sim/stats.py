@@ -134,6 +134,17 @@ class SimResult:
     #: attached by the simulator when metrics are enabled; plain nested
     #: dicts, so ``to_dict``/``from_dict`` round-trip it unchanged.
     metrics: Optional[Dict[str, object]] = None
+    #: Oracle bounds and regret, attached by the suite's ``--oracle``
+    #: annotation pass (:func:`repro.analysis.oracle.annotate_result`),
+    #: never by the simulator itself — stored/cached results stay
+    #: oracle-free and these default to None.  ``miss_regret`` is
+    #: ``demand_misses - oracle_misses`` (excess over per-set OPT);
+    #: ``stall_regret`` is ``stall_cycles - oracle_stall_cycles``
+    #: (excess over the cost-weighted-OPT stall floor).
+    oracle_misses: Optional[int] = None
+    oracle_stall_cycles: Optional[float] = None
+    miss_regret: Optional[int] = None
+    stall_regret: Optional[float] = None
 
     @property
     def ipc(self) -> float:

@@ -179,10 +179,44 @@ class ResultStore:
         self.hits += 1
         return result
 
+    def load_payload(self, key: str) -> Optional[Dict]:
+        """Return the raw stored dict for ``key``, or None on a miss.
+
+        The generic sibling of :meth:`load` for entries that are not
+        ``SimResult`` payloads (e.g. oracle reports): same digest
+        verification and quarantine behavior, no deserialization —
+        callers own the payload's shape.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result_dict = payload["result"]
+            if payload["digest"] != result_digest(result_dict):
+                raise _IntegrityError("digest mismatch for %s" % key)
+            if not isinstance(result_dict, dict):
+                raise _IntegrityError("non-dict payload for %s" % key)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_dict
+
+    def save_payload(self, key: str, payload_dict: Dict, **key_fields) -> None:
+        """Atomically persist an arbitrary JSON-safe dict under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write(key, payload_dict, key_fields)
+
     def save(self, key: str, result: SimResult, **key_fields) -> None:
         """Atomically persist ``result`` under ``key``."""
         self.root.mkdir(parents=True, exist_ok=True)
-        result_dict = result.to_dict()
+        self._write(key, result.to_dict(), key_fields)
+
+    def _write(self, key: str, result_dict: Dict, key_fields: Dict) -> None:
         payload = {
             "key_fields": key_fields,
             "code": code_version(),

@@ -40,7 +40,8 @@ from repro.workloads import BENCHMARKS
 
 DEFAULT_POLICIES = ("lru", "lin(4)", "sbar")
 
-#: Scalar fields exported per run.
+#: Scalar fields exported per run.  The last four are the oracle
+#: bounds/regret columns: None unless the suite ran with ``--oracle``.
 EXPORT_FIELDS = (
     "ipc",
     "instructions",
@@ -52,6 +53,10 @@ EXPORT_FIELDS = (
     "stall_cycles",
     "avg_mlp_cost",
     "writebacks",
+    "oracle_misses",
+    "oracle_stall_cycles",
+    "miss_regret",
+    "stall_regret",
 )
 
 #: Column order of :meth:`SuiteResult.to_rows` (and the CSV header).
@@ -78,6 +83,9 @@ class SuiteResult:
     scale: Optional[float]
     failures: Dict[str, Dict[str, str]] = field(default_factory=dict)
     meta: Optional[Dict[str, object]] = None
+    #: benchmark -> serialized :class:`repro.analysis.oracle.OracleReport`
+    #: when the suite ran with oracle bounds; None otherwise.
+    oracle: Optional[Dict[str, Dict[str, object]]] = None
 
     def result(self, benchmark: str, policy: str) -> SimResult:
         return self.results[benchmark][policy]
@@ -170,6 +178,8 @@ class SuiteResult:
         }
         if self.failures:
             payload["failures"] = self.failures
+        if self.oracle is not None:
+            payload["oracle"] = self.oracle
         if self.meta is not None:
             payload["meta"] = self.meta
         metrics = self.merged_metrics()
@@ -211,6 +221,24 @@ class SuiteResult:
         return "\n".join(lines)
 
 
+def _oracle_reports(
+    benchmarks: Sequence[str],
+    scale: Optional[float],
+    use_store: bool,
+):
+    """Oracle reports per benchmark, at the scale the cells ran with."""
+    from repro.analysis.oracle import oracle_report
+    from repro.sim.runner import packed_trace, trace_scale
+
+    resolved = scale if scale is not None else trace_scale()
+    return {
+        benchmark: oracle_report(
+            packed_trace(benchmark, scale=resolved), use_store=use_store
+        )
+        for benchmark in benchmarks
+    }
+
+
 def run_suite(
     policies: Sequence[str] = DEFAULT_POLICIES,
     benchmarks: Optional[Sequence[str]] = None,
@@ -221,6 +249,7 @@ def run_suite(
     retries=_UNSET,
     progress=_UNSET,
     options: Optional[RunOptions] = None,
+    oracle: bool = False,
 ) -> SuiteResult:
     """Run the matrix; the first policy is the baseline column.
 
@@ -242,6 +271,14 @@ def run_suite(
     resilience report lands in ``SuiteResult.meta``.  Both paths
     produce bit-identical ``SimResult`` values, so
     :meth:`SuiteResult.content_digest` matches across them.
+
+    ``oracle=True`` additionally computes the offline OPT and
+    cost-weighted-OPT bounds per benchmark
+    (:func:`repro.analysis.oracle.oracle_report`, cached in the result
+    store) and annotates every completed cell with
+    ``oracle_misses`` / ``oracle_stall_cycles`` / ``miss_regret`` /
+    ``stall_regret``.  The annotation pass is serial and deterministic,
+    so serial and parallel oracle suites stay bit-identical.
     """
     options = resolve_options(
         options, "run_suite", workers=workers, use_cache=use_cache,
@@ -273,6 +310,10 @@ def run_suite(
             for policy in policies
         ]
         grid = run_grid(tasks, options=options)
+        if oracle:
+            grid.annotate_oracle(
+                _oracle_reports(names, scale, options.use_cache)
+            )
         results: Dict[str, Dict[str, SimResult]] = {
             benchmark: {} for benchmark in names
         }
@@ -290,6 +331,7 @@ def run_suite(
             scale=scale,
             failures=failures,
             meta=grid.meta(),
+            oracle=grid.oracle,
         )
 
     results = {}
@@ -299,11 +341,26 @@ def run_suite(
             results[benchmark][policy] = run_policy(
                 benchmark, policy, scale=scale, options=options,
             )
+    oracle_payload = None
+    if oracle:
+        from repro.analysis.oracle import annotate_result
+
+        reports = _oracle_reports(names, scale, options.use_cache)
+        for benchmark, cells in results.items():
+            for policy in list(cells):
+                cells[policy] = annotate_result(
+                    cells[policy], reports[benchmark]
+                )
+        oracle_payload = {
+            benchmark: report.to_dict()
+            for benchmark, report in reports.items()
+        }
     return SuiteResult(
         policies=list(policies),
         benchmarks=names,
         results=results,
         scale=scale,
+        oracle=oracle_payload,
     )
 
 
@@ -365,6 +422,13 @@ def main(argv=None) -> int:
              '"mcf,interleave(mcf,art),champsim:/path.xz"',
     )
     parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="compute offline OPT / cost-weighted-OPT bounds per "
+             "benchmark and add oracle_misses / oracle_stall_cycles / "
+             "miss_regret / stall_regret to every cell (see "
+             "docs/policies.md)",
+    )
     parser.add_argument("--json", metavar="FILE", default=None)
     parser.add_argument("--csv", metavar="FILE", default=None)
     parser.add_argument(
@@ -385,6 +449,7 @@ def main(argv=None) -> int:
         benchmarks=split_specs(args.benchmarks) if args.benchmarks else None,
         scale=args.scale,
         options=options,
+        oracle=args.oracle,
     )
     print(suite.to_text())
     if suite.meta is not None:

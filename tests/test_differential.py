@@ -11,6 +11,9 @@ Two families of equivalences the paper's constructions imply:
   selector's MSB cannot flip during a run, every follower set obeys
   the same fixed policy, so the victim stream matches the standalone
   policy exactly (saturated high -> ``lin(4)``, low -> ``lru``).
+* **AWRP with equal weights is LRU.**  With ``weight = 0`` the
+  adaptive rank reduces to pure recency and the frequency counters
+  carry nothing, so every victim choice must match LRU's.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import pytest
 
 from repro import obs
 from repro.cache.block import BlockState
-from repro.cache.replacement import LINPolicy, LRUPolicy
+from repro.cache.replacement import AWRPPolicy, LINPolicy, LRUPolicy
 from repro.cache.sets import CacheSet
 from repro.sbar.cbs import CBSController
 from repro.sim.simulator import Simulator
@@ -100,6 +103,48 @@ class TestLinZeroIsLru:
             if lin_events != lru_events:
                 return
         pytest.fail("lin(4) never diverged from lru on any seed")
+
+
+class TestAwrpZeroIsLru:
+    def test_choose_victim_identical_on_random_sets(self):
+        """Direct property: weight 0 zeroes the frequency term."""
+        rng = random.Random(4321)
+        awrp0 = AWRPPolicy(0)
+        lru = LRUPolicy()
+        for _ in range(300):
+            associativity = rng.choice([2, 4, 8])
+            cache_set = CacheSet(associativity)
+            for block in rng.sample(range(1000), associativity):
+                state = BlockState(block, 0)
+                cache_set.insert_mru(state)
+                # Seed arbitrary frequency history; weight 0 must
+                # make it irrelevant.
+                awrp0._counts[block] = rng.randrange(16)
+            assert awrp0.choose_victim(cache_set) == lru.choose_victim(
+                cache_set
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_identical_victim_streams(self, small_machine, seed):
+        trace = random_trace(seed)
+        awrp_events, awrp_result = victim_stream("awrp(0)", small_machine,
+                                                 trace)
+        lru_events, lru_result = victim_stream("lru", small_machine, trace)
+        assert awrp_events == lru_events
+        assert awrp_events, "trace produced no L2 evictions"
+        assert awrp_result.demand_misses == lru_result.demand_misses
+        assert awrp_result.cycles == lru_result.cycles
+        assert awrp_result.ipc == lru_result.ipc
+
+    def test_weighted_awrp_actually_diverges(self, small_machine):
+        """Sanity: the comparison has teeth — a real weight differs."""
+        for seed in range(10):
+            trace = random_trace(seed)
+            awrp_events, _ = victim_stream("awrp(8)", small_machine, trace)
+            lru_events, _ = victim_stream("lru", small_machine, trace)
+            if awrp_events != lru_events:
+                return
+        pytest.fail("awrp(8) never diverged from lru on any seed")
 
 
 def saturated_cbs(config, high: bool) -> CBSController:
