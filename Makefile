@@ -11,12 +11,16 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Kernel performance report (micro + macro benchmarks) -> BENCH_local.json.
+# KERNEL selects the replay kernel(s): auto/batched/fused/generic/all.
+KERNEL ?= auto
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro.bench --out BENCH_local.json --force
+	PYTHONPATH=src $(PYTHON) -m repro.bench --out BENCH_local.json --force \
+		--kernel $(KERNEL)
 
 # Smoke-sized bench run (what CI executes); timings are meaningless.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_smoke.json --force
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_smoke.json \
+		--force --kernel $(KERNEL)
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

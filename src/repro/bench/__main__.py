@@ -9,11 +9,16 @@ Refuses to overwrite an existing report unless ``--force`` is given —
 committed baselines (``BENCH_pr3.json`` etc.) are easy to clobber by
 re-running with the same ``--tag`` otherwise.
 
-``--check REPORT --cell WORKLOAD/POLICY`` re-simulates one macro cell
-at the report's recorded scale and compares the machine-independent
-result fields.  That is the CI perf-smoke check: a digest mismatch
-means the simulation kernel changed behavior.  Timings are never
-compared.
+``--check REPORT --cell WORKLOAD/POLICY[/KERNEL]`` re-simulates one
+macro cell at the report's recorded scale (and recorded replay kernel)
+and compares the machine-independent result fields; ``--check REPORT``
+alone verifies every macro cell.  That is the CI perf-smoke check: a
+digest mismatch means the simulation kernel changed behavior.  Timings
+are never compared.
+
+``--kernel`` selects the replay kernel the macro cells request
+(recorded per cell in the v4 schema); ``--kernel all`` times the
+batched, fused, and generic kernels side by side in one report.
 """
 
 from __future__ import annotations
@@ -34,24 +39,47 @@ from repro.sim import common_cli
 
 
 def _check_mode(report_path: str, cell: str) -> int:
-    try:
-        workload, policy = cell.split("/", 1)
-    except ValueError:
-        print("--cell must look like WORKLOAD/POLICY, got %r" % cell,
-              file=sys.stderr)
-        return 2
     with open(report_path) as handle:
         report = json.load(handle)
     validate_report(report)
-    try:
-        fresh = check_macro_cell(report, workload, policy)
-    except ValueError as exc:
-        print("FAIL: %s" % exc, file=sys.stderr)
+    if cell is None:
+        # Verify every macro cell the report recorded.
+        cells = [
+            (entry["workload"], entry["policy"], entry.get("kernel"))
+            for entry in report["macro"]
+        ]
+    else:
+        parts = cell.split("/")
+        if len(parts) == 2:
+            cells = [(parts[0], parts[1], None)]
+        elif len(parts) == 3:
+            cells = [(parts[0], parts[1], parts[2])]
+        else:
+            print(
+                "--cell must look like WORKLOAD/POLICY[/KERNEL], got %r"
+                % cell,
+                file=sys.stderr,
+            )
+            return 2
+    failures = 0
+    for workload, policy, kernel in cells:
+        label = "%s/%s" % (workload, policy)
+        if kernel is not None:
+            label += "/%s" % kernel
+        try:
+            fresh = check_macro_cell(report, workload, policy, kernel)
+        except ValueError as exc:
+            failures += 1
+            print("FAIL: %s" % exc, file=sys.stderr)
+            continue
+        print("OK: %s results match %s (%s)" % (
+            label, report_path,
+            ", ".join("%s=%s" % item for item in sorted(fresh.items())),
+        ))
+    if failures:
+        print("%d of %d cells FAILED" % (failures, len(cells)),
+              file=sys.stderr)
         return 1
-    print("OK: %s/%s results match %s (%s)" % (
-        workload, policy, report_path,
-        ", ".join("%s=%s" % item for item in sorted(fresh.items())),
-    ))
     return 0
 
 
@@ -66,6 +94,16 @@ def main(argv=None) -> int:
         "the fused fast path (timings will not be comparable).",
         parents=[common_cli.execution_parent(),
                  common_cli.telemetry_parent()],
+        conflict_handler="resolve",
+    )
+    # Override the shared --kernel: bench additionally accepts "all"
+    # to time every kernel side by side in one report.
+    parser.add_argument(
+        "--kernel", default="auto",
+        choices=("auto", "batched", "fused", "generic", "all"),
+        help="replay kernel the macro cells request (recorded per "
+             "cell); 'all' times batched, fused, and generic kernels "
+             "side by side",
     )
     parser.add_argument(
         "--out", default=None,
@@ -98,8 +136,9 @@ def main(argv=None) -> int:
         "written",
     )
     parser.add_argument(
-        "--cell", metavar="WORKLOAD/POLICY", default=None,
-        help="macro cell to verify in --check mode, e.g. mcf/sbar",
+        "--cell", metavar="WORKLOAD/POLICY[/KERNEL]", default=None,
+        help="macro cell to verify in --check mode, e.g. mcf/sbar or "
+             "mcf/sbar/batched (default: every recorded cell)",
     )
     args = parser.parse_args(argv)
 
@@ -125,8 +164,6 @@ def main(argv=None) -> int:
         )
 
     if args.check is not None:
-        if args.cell is None:
-            parser.error("--check requires --cell WORKLOAD/POLICY")
         return _check_mode(args.check, args.cell)
     if args.cell is not None:
         parser.error("--cell only makes sense with --check")
@@ -146,13 +183,21 @@ def main(argv=None) -> int:
         print("  %-14s %10.0f ops/s" % (entry["name"], entry["ops_per_sec"]))
 
     print("running macro-benchmarks%s..." % (" (quick)" if args.quick else ""))
-    macro = run_macro(
-        scale=args.scale, repeat=args.repeat, quick=args.quick
+    kernels = (
+        ("batched", "fused", "generic")
+        if args.kernel == "all"
+        else (args.kernel,)
     )
+    macro = []
+    for kernel in kernels:
+        macro.extend(run_macro(
+            scale=args.scale, repeat=args.repeat, quick=args.quick,
+            kernel=kernel,
+        ))
     for entry in macro:
         print(
-            "  %-4s/%-10s %8.0f accesses/s  (%.3fs, %d L2 misses%s)"
-            % (entry["workload"], entry["policy"],
+            "  %-4s/%-10s %-7s %8.0f accesses/s  (%.3fs, %d L2 misses%s)"
+            % (entry["workload"], entry["policy"], entry["kernel"],
                entry["accesses_per_sec"], entry["seconds"],
                entry["result"]["l2_misses"],
                "" if entry["fused"] else ", generic loop")

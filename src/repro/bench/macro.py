@@ -41,15 +41,19 @@ def macro_result_fields(result) -> Dict[str, object]:
     }
 
 
-def simulate_cell(workload: str, policy: str, scale: float):
+def simulate_cell(
+    workload: str, policy: str, scale: float, kernel: str = "auto"
+):
     """Run one macro cell untimed; returns (SimResult, fused_replay).
 
     This is the re-simulation entry point the report ``--check`` mode
     uses: identical machine setup to the timed cells, so the embedded
-    result fields must reproduce exactly on any host.
+    result fields must reproduce exactly on any host.  ``kernel`` is
+    the replay-kernel ceiling to request; results are bit-identical
+    across kernels by contract.
     """
     trace = build_workload(workload, scale=scale)
-    sim = Simulator(experiment_config(), policy)
+    sim = Simulator(experiment_config(), policy, kernel=kernel)
     result = sim.run(trace)
     return result, sim.fused_replay
 
@@ -60,13 +64,16 @@ def run_macro(
     quick: bool = False,
     workloads: Sequence[str] = MACRO_WORKLOADS,
     policies: Sequence[str] = MACRO_POLICIES,
+    kernel: str = "auto",
 ) -> List[Dict[str, object]]:
     """Time full simulation runs; returns one entry per (workload, policy).
 
     ``quick`` shrinks the traces and skips repetition for smoke tests;
     otherwise each cell reports best-of-``repeat`` wall time after one
     untimed warm-up run (first-run interpreter effects dominate
-    otherwise).  Repetitions are *interleaved* round-robin across the
+    otherwise).  ``kernel`` is the replay-kernel ceiling every cell
+    requests (recorded per entry); call once per kernel to build a
+    kernel-comparison report.  Repetitions are *interleaved* round-robin across the
     cells rather than run back-to-back per cell: machine noise is often
     sustained over many seconds, and consecutive repeats of one cell
     would all land in the same slow window while another cell gets all
@@ -82,7 +89,7 @@ def run_macro(
         accesses = len(trace)
         for policy in policies:
             if not quick:
-                Simulator(config, policy).run(trace)
+                Simulator(config, policy, kernel=kernel).run(trace)
             entries.append({
                 "workload": workload,
                 "policy": policy,
@@ -91,12 +98,13 @@ def run_macro(
                 "seconds": float("inf"),
                 "accesses_per_sec": 0.0,
                 "fused": False,
+                "kernel": kernel,
                 "result": None,
                 "_trace": trace,
             })
     for _ in range(repeat):
         for entry in entries:
-            sim = Simulator(config, entry["policy"])
+            sim = Simulator(config, entry["policy"], kernel=kernel)
             start = perf_counter()
             result = sim.run(entry["_trace"])
             elapsed = perf_counter() - start

@@ -5,15 +5,16 @@ A report is a plain JSON-safe dict:
 .. code-block:: text
 
     {
-      "schema": "repro.bench/v2",
-      "tag": "pr4",
+      "schema": "repro.bench/v4",
+      "tag": "pr8",
       "created_unix": 1754400000.0,
       "machine": {"platform": ..., "python": ..., "cpus": ...},
       "code_version": "<git commit or 'unknown'>",
       "micro": [{"name", "ops", "seconds", "ops_per_sec"}, ...],
       "macro": [{"workload", "policy", "accesses", "scale", "seconds",
-                 "accesses_per_sec", "fused", "result": {"l2_misses",
-                 "cycles", "demand_misses"}}, ...]
+                 "accesses_per_sec", "fused", "kernel",
+                 "result": {"l2_misses", "cycles", "demand_misses",
+                 "stall_cycles"}}, ...]
     }
 
 v2 added two macro-cell fields: ``scale`` (the trace scale the cell
@@ -25,8 +26,15 @@ v3 added ``stall_cycles`` to the embedded result fields: with the
 oracle's stall floor in the repo, stall behavior is now a first-class
 comparison axis, and a policy change that trades misses for stalls
 should trip the digest check even when miss counts happen to agree.
-v2 reports stay readable (``validate_report`` accepts both versions;
-``check_macro_cell`` compares only the fields a report recorded).
+
+v4 added ``kernel`` to every macro cell: the replay kernel the cell was
+*requested* under (``auto``/``batched``/``fused``/``generic``), so one
+report can time the same workload/policy matrix per kernel and the
+digest check can verify each kernel reproduces the same results.  The
+``fused`` flag still records whether a fast replay loop actually ran.
+Legacy reports stay readable (``validate_report`` accepts v2 and v3;
+``check_macro_cell`` compares only the fields a report recorded and
+re-simulates kernel-less cells under ``auto``).
 
 ``validate_report`` is the single source of truth for that shape; the
 CI perf-smoke job and the bench CLI both call it, so a report that
@@ -47,18 +55,23 @@ from typing import Dict, List, Optional
 
 #: Current report schema identifier; bump the suffix on breaking shape
 #: changes so old reports stay recognizable.
-SCHEMA = "repro.bench/v3"
+SCHEMA = "repro.bench/v4"
 
 #: Older schemas ``validate_report`` still accepts (committed baseline
 #: reports from earlier PRs must stay checkable).
-_LEGACY_SCHEMAS = ("repro.bench/v2",)
+_LEGACY_SCHEMAS = ("repro.bench/v3", "repro.bench/v2")
 
 _MICRO_FIELDS = {"name": str, "ops": int, "seconds": float,
                  "ops_per_sec": float}
 _MACRO_FIELDS = {"workload": str, "policy": str, "accesses": int,
                  "scale": float, "seconds": float,
                  "accesses_per_sec": float, "fused": bool,
-                 "result": dict}
+                 "kernel": str, "result": dict}
+#: Macro cell fields before v4 added the per-cell ``kernel``.
+_MACRO_FIELDS_LEGACY = {
+    field: expected for field, expected in _MACRO_FIELDS.items()
+    if field != "kernel"
+}
 _RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int,
                   "stall_cycles": float}
 #: Result fields required per schema version (v3 added stall_cycles).
@@ -143,9 +156,10 @@ def _check_fields(entry: object, spec: Dict[str, type], where: str) -> None:
 def validate_report(report: object) -> None:
     """Raise ``ValueError`` when ``report`` violates its schema.
 
-    Accepts the current v3 schema and the legacy v2 schema (whose
-    macro results lack ``stall_cycles``); committed baseline reports
-    from earlier PRs therefore stay valid.
+    Accepts the current v4 schema and the legacy v3/v2 schemas (v3
+    macro cells lack ``kernel``, v2 results additionally lack
+    ``stall_cycles``); committed baseline reports from earlier PRs
+    therefore stay valid.
     """
     if not isinstance(report, dict):
         raise ValueError("report must be an object, got %r" % (report,))
@@ -155,8 +169,9 @@ def validate_report(report: object) -> None:
             "unknown schema %r (expected %r or one of %r)"
             % (schema, SCHEMA, _LEGACY_SCHEMAS)
         )
+    macro_fields = _MACRO_FIELDS if schema == SCHEMA else _MACRO_FIELDS_LEGACY
     result_fields = (
-        _RESULT_FIELDS if schema == SCHEMA else _RESULT_FIELDS_V2
+        _RESULT_FIELDS_V2 if schema == "repro.bench/v2" else _RESULT_FIELDS
     )
     for field, expected in (
         ("tag", str), ("created_unix", float), ("machine", dict),
@@ -170,7 +185,7 @@ def validate_report(report: object) -> None:
             raise ValueError("%s: timings must be positive" % where)
     for index, entry in enumerate(report["macro"]):
         where = "macro[%d]" % index
-        _check_fields(entry, _MACRO_FIELDS, where)
+        _check_fields(entry, macro_fields, where)
         if entry["seconds"] <= 0 or entry["accesses_per_sec"] <= 0:
             raise ValueError("%s: timings must be positive" % where)
         if entry["scale"] <= 0:
@@ -179,32 +194,50 @@ def validate_report(report: object) -> None:
 
 
 def find_macro_cell(
-    report: Dict[str, object], workload: str, policy: str
+    report: Dict[str, object],
+    workload: str,
+    policy: str,
+    kernel: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Return the macro entry for ``workload``/``policy`` or raise."""
+    """Return the macro entry for ``workload``/``policy`` or raise.
+
+    ``kernel`` narrows the match in a v4 report that times the same
+    cell under several kernels; ``None`` returns the first match (the
+    only one in legacy reports).
+    """
     for entry in report["macro"]:
         if entry["workload"] == workload and entry["policy"] == policy:
-            return entry
+            if kernel is None or entry.get("kernel") == kernel:
+                return entry
     raise ValueError(
-        "report has no macro cell %s/%s" % (workload, policy)
+        "report has no macro cell %s/%s%s"
+        % (workload, policy, "" if kernel is None else "/" + kernel)
     )
 
 
 def check_macro_cell(
-    report: Dict[str, object], workload: str, policy: str
+    report: Dict[str, object],
+    workload: str,
+    policy: str,
+    kernel: Optional[str] = None,
 ) -> Dict[str, object]:
     """Re-simulate one macro cell and compare its embedded results.
 
     The comparison covers only the machine-independent ``result``
     fields — never timings — so it must pass on any host for a report
-    produced by the same code.  Returns the freshly simulated result
-    payload on success; raises ``ValueError`` with a field-by-field
-    diff on mismatch.
+    produced by the same code.  The re-simulation requests the cell's
+    recorded kernel (``auto`` for legacy cells): every kernel is
+    bit-identical, so the digests must agree regardless, and a per-
+    kernel v4 cell pins the divergence to the kernel that drifted.
+    Returns the freshly simulated result payload on success; raises
+    ``ValueError`` with a field-by-field diff on mismatch.
     """
     from repro.bench.macro import macro_result_fields, simulate_cell
 
-    entry = find_macro_cell(report, workload, policy)
-    result, _fused = simulate_cell(workload, policy, entry["scale"])
+    entry = find_macro_cell(report, workload, policy, kernel)
+    result, _fused = simulate_cell(
+        workload, policy, entry["scale"], kernel=entry.get("kernel", "auto")
+    )
     fresh = macro_result_fields(result)
     recorded = entry["result"]
     # Compare only fields the report recorded: a legacy v2 baseline
@@ -216,7 +249,8 @@ def check_macro_cell(
     ]
     if mismatches:
         raise ValueError(
-            "macro cell %s/%s result mismatch (%s)"
-            % (workload, policy, "; ".join(mismatches))
+            "macro cell %s/%s (kernel %s) result mismatch (%s)"
+            % (workload, policy, entry.get("kernel", "auto"),
+               "; ".join(mismatches))
         )
     return fresh

@@ -8,8 +8,8 @@ them once, as argparse *parent parsers*:
 
 * :func:`execution_parent` — how to execute: ``--workers``,
   ``--no-cache``, ``--progress``, ``--resume``, ``--max-retries``,
-  ``--deadline``, ``--chaos`` (plus the deprecated ``--timeout`` /
-  ``--retries`` spellings).  :func:`options_from_args` folds the parsed
+  ``--deadline``, ``--chaos``, ``--kernel`` (plus the deprecated
+  ``--timeout`` / ``--retries`` spellings).  :func:`options_from_args` folds the parsed
   namespace into one :class:`~repro.sim.options.RunOptions`.
 * :func:`telemetry_parent` — what to observe: ``--metrics-out``,
   ``--trace-events``.  :func:`apply_telemetry` pushes them into
@@ -69,6 +69,12 @@ def execution_parent() -> argparse.ArgumentParser:
         "--chaos", metavar="SPEC", default=None,
         help='seeded fault injection for testing, e.g. '
              '"crash=0.2,delay=0.3,seed=7" (see repro.sim.chaos)',
+    )
+    group.add_argument(
+        "--kernel", default="auto",
+        choices=("auto", "batched", "fused", "generic"),
+        help="replay kernel ceiling (all kernels are bit-identical; "
+             "default auto picks the fastest whose gates hold)",
     )
     # Deprecated spellings from the pre-RunOptions CLIs; folded (with a
     # warning) into --deadline / --max-retries by options_from_args.
@@ -130,6 +136,7 @@ def options_from_args(
         "use_cache": not args.no_cache,
         "deadline": deadline,
         "resume": args.resume,
+        "kernel": getattr(args, "kernel", "auto"),
     }
     if max_retries is not None:
         fields["max_retries"] = max_retries

@@ -67,6 +67,11 @@ class RunOptions:
       finished task.
     * ``chaos`` — optional :class:`repro.sim.chaos.ChaosConfig` for
       deterministic fault injection (tests/CI only).
+    * ``kernel`` — replay kernel ceiling passed to every
+      :class:`~repro.sim.simulator.Simulator` (``"auto"``,
+      ``"batched"``, ``"fused"``, or ``"generic"``).  All kernels are
+      bit-identical, so the choice never enters memo or store keys —
+      a cached result satisfies a request under any kernel.
     """
 
     workers: int = 0
@@ -82,6 +87,16 @@ class RunOptions:
     journal: bool = True
     progress: Optional[Callable] = None
     chaos: Optional[object] = None  # repro.sim.chaos.ChaosConfig
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        from repro.sim.simulator import REPLAY_KERNELS
+
+        if self.kernel not in REPLAY_KERNELS:
+            raise ValueError(
+                "kernel must be one of %s, got %r"
+                % (", ".join(REPLAY_KERNELS), self.kernel)
+            )
 
     def replace(self, **changes) -> "RunOptions":
         """A copy with ``changes`` applied (dataclasses.replace)."""

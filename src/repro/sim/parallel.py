@@ -235,7 +235,7 @@ def _execute_task(payload) -> Tuple[str, object, float, int, Optional[str]]:
     """Worker-side entry: run one task, never raise.
 
     ``payload`` is ``(task, use_cache, deadline, chaos, attempt,
-    in_worker)``.  Returns ``("ok", SimResult, wall, pid, None)`` or
+    in_worker, kernel)``.  Returns ``("ok", SimResult, wall, pid, None)`` or
     ``("error", message, wall, pid, traceback_text)`` — the traceback
     is formatted *here*, in the failing process, so the parent's
     failure report shows the real remote stack instead of just the
@@ -244,7 +244,7 @@ def _execute_task(payload) -> Tuple[str, object, float, int, Optional[str]]:
     simulations are pure CPU loops, so the alarm lands promptly
     between bytecodes.
     """
-    task, use_cache, deadline, chaos, attempt, in_worker = payload
+    task, use_cache, deadline, chaos, attempt, in_worker, kernel = payload
     start = time.perf_counter()
     alarmed = False
     try:
@@ -259,7 +259,7 @@ def _execute_task(payload) -> Tuple[str, object, float, int, Optional[str]]:
             scale=task.scale,
             config=task.config,
             phase_interval=task.phase_interval,
-            options=RunOptions(use_cache=use_cache),
+            options=RunOptions(use_cache=use_cache, kernel=kernel),
         )
         return ("ok", result, time.perf_counter() - start, os.getpid(), None)
     except Exception as exc:
@@ -561,7 +561,7 @@ def _run_serial(
                 journal.task_started(task, attempt)
             status, payload, wall, pid, tb = _execute_task(
                 (task, options.use_cache, options.deadline, options.chaos,
-                 attempt, False)
+                 attempt, False, options.kernel)
             )
             attempts = attempt
             if status == "ok":
@@ -688,7 +688,7 @@ def _run_pool(
                     future = pool.submit(
                         _execute_task,
                         (task, options.use_cache, options.deadline,
-                         options.chaos, attempts + 1, True),
+                         options.chaos, attempts + 1, True, options.kernel),
                     )
                 except Exception:
                     # The pool broke between completions; retry the

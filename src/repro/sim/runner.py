@@ -169,7 +169,10 @@ def run_policy(
 
     trace = packed_trace(benchmark, scale=scale)
     simulator = Simulator(
-        resolved_config, policy_spec, phase_interval=phase_interval
+        resolved_config,
+        policy_spec,
+        phase_interval=phase_interval,
+        kernel=options.kernel if options is not None else "auto",
     )
     result = simulator.run(trace)
     _MEMO_HITS["simulations"] += 1

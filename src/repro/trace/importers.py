@@ -89,10 +89,7 @@ def _parse_address(token: str, path: str, line_no: int) -> int:
 def _finish(
     addresses: array, kinds: array, gaps: array
 ) -> PackedTrace:
-    n = len(addresses)
-    packed = PackedTrace(addresses, kinds, gaps, bytearray((n + 7) // 8), 0)
-    packed.validate()
-    return packed
+    return PackedTrace.from_columns(addresses, kinds, gaps)
 
 
 def load_champsim(

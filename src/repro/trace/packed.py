@@ -93,6 +93,41 @@ class PackedTrace:
     # -- construction -------------------------------------------------
 
     @classmethod
+    def from_columns(
+        cls,
+        addresses: array,
+        kinds: array,
+        gaps: array,
+        wrong_bits: "bytearray | None" = None,
+        n_wrong: int = 0,
+    ) -> "PackedTrace":
+        """Build a trace from raw columns, validated.
+
+        Every construction site outside this module must go through
+        here (or :meth:`from_accesses`): it runs the bulk column
+        validation *and* cross-checks the wrong-path bitset against
+        ``n_wrong``, including the trailing-zero invariant the content
+        digest depends on.  ``wrong_bits=None`` means no wrong-path
+        records (a fresh zeroed bitset is allocated).
+        """
+        n = len(addresses)
+        if wrong_bits is None:
+            if n_wrong:
+                raise ValueError(
+                    "n_wrong=%d without a wrong-path bitset" % n_wrong
+                )
+            wrong_bits = bytearray((n + 7) // 8)
+        packed = cls(addresses, kinds, gaps, wrong_bits, n_wrong)
+        if n & 7 and wrong_bits and wrong_bits[-1] >> (n & 7):
+            raise ValueError(
+                "wrong-path bitset has bits set past the last record"
+            )
+        if int.from_bytes(bytes(wrong_bits), "little").bit_count() != n_wrong:
+            raise ValueError("n_wrong disagrees with the wrong-path bitset")
+        packed.validate()
+        return packed
+
+    @classmethod
     def from_accesses(cls, accesses: Iterable[Access]) -> "PackedTrace":
         """Pack a sequence of ``Access`` records into columns.
 
@@ -156,15 +191,27 @@ class PackedTrace:
         kinds = self._kinds[start:stop]
         gaps = self._gaps[start:stop]
         count = stop - start
-        wrong_bits = bytearray((count + 7) // 8)
         n_wrong = 0
-        if self._n_wrong:
-            bits = self._wrong_bits
-            for offset in range(count):
-                index = start + offset
-                if bits[index >> 3] >> (index & 7) & 1:
-                    wrong_bits[offset >> 3] |= 1 << (offset & 7)
-                    n_wrong += 1
+        if self._n_wrong and start & 7 == 0:
+            # Byte-aligned start: splice the bitset at C speed.  The
+            # last byte may carry bits past ``count`` (records beyond
+            # ``stop``); mask them off to preserve the trailing-zero
+            # invariant the content digest depends on.
+            wrong_bits = bytearray(
+                self._wrong_bits[start >> 3:(start + count + 7) >> 3]
+            )
+            if count & 7 and wrong_bits:
+                wrong_bits[-1] &= (1 << (count & 7)) - 1
+            n_wrong = int.from_bytes(bytes(wrong_bits), "little").bit_count()
+        else:
+            wrong_bits = bytearray((count + 7) // 8)
+            if self._n_wrong:
+                bits = self._wrong_bits
+                for offset in range(count):
+                    index = start + offset
+                    if bits[index >> 3] >> (index & 7) & 1:
+                        wrong_bits[offset >> 3] |= 1 << (offset & 7)
+                        n_wrong += 1
         return PackedTrace(addresses, kinds, gaps, wrong_bits, n_wrong)
 
     @classmethod
@@ -190,11 +237,20 @@ class PackedTrace:
             gaps.extend(trace._gaps)
             if trace._n_wrong:
                 bits = trace._wrong_bits
-                for offset in range(len(trace)):
-                    if bits[offset >> 3] >> (offset & 7) & 1:
-                        index = base + offset
-                        wrong_bits[index >> 3] |= 1 << (index & 7)
-                        n_wrong += 1
+                if base & 7 == 0:
+                    # Byte-aligned destination: splice at C speed.  The
+                    # source's trailing bits are zero by invariant, and
+                    # every position past ``base`` is still zero in the
+                    # destination, so plain assignment is exact; later
+                    # unaligned traces OR on top of those zeros.
+                    wrong_bits[base >> 3:(base >> 3) + len(bits)] = bits
+                    n_wrong += trace._n_wrong
+                else:
+                    for offset in range(len(trace)):
+                        if bits[offset >> 3] >> (offset & 7) & 1:
+                            index = base + offset
+                            wrong_bits[index >> 3] |= 1 << (index & 7)
+                            n_wrong += 1
             base += len(trace)
         return cls(addresses, kinds, gaps, wrong_bits, n_wrong)
 
@@ -204,7 +260,19 @@ class PackedTrace:
         return len(self._addresses)
 
     def wrong_path(self, index: int) -> bool:
-        """Whether record ``index`` (non-negative) is wrong-path."""
+        """Whether record ``index`` is wrong-path.
+
+        ``index`` must be a plain ``int`` in ``[0, len(self))``.
+        Negative indices raise :exc:`IndexError` rather than silently
+        wrapping through the *bitset* (which is 8x shorter than the
+        trace, so ``-1`` used to read the flag of a record near the
+        end of the first byte-group instead of the last record), and
+        ``bool`` is rejected like any other non-``int``.
+        """
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise TypeError("PackedTrace indices must be integers")
+        if not 0 <= index < len(self._addresses):
+            raise IndexError("trace index out of range")
         return bool(self._wrong_bits[index >> 3] >> (index & 7) & 1)
 
     @property
@@ -213,7 +281,9 @@ class PackedTrace:
         return self._n_wrong
 
     def __getitem__(self, index: int) -> Access:
-        if not isinstance(index, int):
+        # bool is an int subclass; reject it explicitly so that e.g.
+        # ``trace[True]`` (a likely logic bug) cannot read record 1.
+        if isinstance(index, bool) or not isinstance(index, int):
             raise TypeError("PackedTrace indices must be integers")
         n = len(self._addresses)
         if index < 0:
@@ -230,6 +300,30 @@ class PackedTrace:
     def __iter__(self) -> Iterator[Access]:
         for address, kind, gap, wrong in self.iter_tuples():
             yield Access(address, kind, gap, bool(wrong))
+
+    def column_views(self):
+        """Zero-copy numpy views ``(addresses, kinds, gaps)``.
+
+        The views alias the live ``array`` buffers via
+        ``np.frombuffer`` — no copy at any length — and are marked
+        read-only: the trace is immutable by convention and the cached
+        content digest must stay truthful.  dtypes are native-order
+        ``int64``/``int8``/``int64``, matching the ``"q"``/``"b"``/
+        ``"q"`` columns on any host.
+
+        numpy is imported lazily: it is a hard dependency of the
+        batched replay kernel only, never of the trace layer itself.
+        Raises :exc:`ImportError` where numpy is unavailable — callers
+        that want a fallback must catch it.
+        """
+        import numpy as np
+
+        addresses = np.frombuffer(self._addresses, dtype=np.int64)
+        kinds = np.frombuffer(self._kinds, dtype=np.int8)
+        gaps = np.frombuffer(self._gaps, dtype=np.int64)
+        for view in (addresses, kinds, gaps):
+            view.flags.writeable = False
+        return addresses, kinds, gaps
 
     def iter_tuples(self) -> Iterator[Tuple[int, int, int, int]]:
         """Iterate ``(address, kind, gap, wrong_path)`` tuples.

@@ -18,6 +18,7 @@ over it.
 
 from __future__ import annotations
 
+import sys
 from array import array
 
 import numpy as np
@@ -72,25 +73,41 @@ def _load_columns(path: str):
         return data["address"], data["kind"], data["gap"], data["wrong_path"]
 
 
+def _i64_column(col: np.ndarray) -> array:
+    """A numpy integer column as a native ``array("q")``, bulk-copied.
+
+    The old ``.astype(...).tolist()`` round-trip materialized one boxed
+    Python int per record on every cold trace load; ``frombytes`` over
+    the little-endian serialization is a straight buffer copy.
+    """
+    column = array("q")
+    column.frombytes(col.astype("<i8", copy=False).tobytes())
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column
+
+
 def _load_packed_npz(path: str) -> PackedTrace:
     """The native npz record format, columns straight into a
     :class:`PackedTrace` (no ``Access`` objects materialized)."""
     addresses, kinds, gaps, wrong = _load_columns(path)
-    n = len(addresses)
-    wrong_bits = bytearray((n + 7) // 8)
-    n_wrong = 0
-    for index in np.flatnonzero(wrong):
-        wrong_bits[index >> 3] |= 1 << (index & 7)
-        n_wrong += 1
-    packed = PackedTrace(
-        array("q", addresses.astype(np.int64).tolist()),
-        array("b", kinds.astype(np.int8).tolist()),
-        array("q", gaps.astype(np.int64).tolist()),
+    n_wrong = int(np.count_nonzero(wrong))
+    wrong_bits = None
+    if n_wrong:
+        # packbits(bitorder="little") is exactly the trace's LSB-first
+        # bitset layout, trailing bits zero-padded.
+        wrong_bits = bytearray(
+            np.packbits(wrong.astype(bool), bitorder="little").tobytes()
+        )
+    kind_column = array("b")
+    kind_column.frombytes(kinds.astype(np.int8, copy=False).tobytes())
+    return PackedTrace.from_columns(
+        _i64_column(addresses),
+        kind_column,
+        _i64_column(gaps),
         wrong_bits,
         n_wrong,
     )
-    packed.validate()
-    return packed
 
 
 def open_trace(path: str) -> PackedTrace:

@@ -183,12 +183,7 @@ class CDFWorkload(Workload):
                 )
             cursors[obj] = (start + count) % size
             emitted += count
-        n = len(addresses)
-        packed = PackedTrace(
-            addresses, kinds, gaps, bytearray((n + 7) // 8), 0
-        )
-        packed.validate()
-        return packed
+        return PackedTrace.from_columns(addresses, kinds, gaps)
 
 
 __all__ = ["CDFWorkload", "CDFS", "ISOLATED_THRESHOLD_BLOCKS"]

@@ -63,6 +63,24 @@ class TestMacro:
             # the sbar dueling fast path); a False here means the
             # optimization silently regressed.
             assert entry["fused"] is True, entry["policy"]
+            # v4: cells record the *requested* kernel.
+            assert entry["kernel"] == "auto", entry["policy"]
+
+    def test_cells_record_requested_kernel(self):
+        per_kernel = {
+            kernel: run_macro(quick=True, workloads=("mcf",),
+                              policies=("lru",), kernel=kernel)[0]
+            for kernel in ("batched", "fused", "generic")
+        }
+        for kernel, entry in per_kernel.items():
+            assert entry["kernel"] == kernel
+        assert per_kernel["batched"]["fused"] is True
+        assert per_kernel["fused"]["fused"] is True
+        assert per_kernel["generic"]["fused"] is False
+        # Bit-identical across kernels: the digest contract the whole
+        # check mode leans on.
+        results = [entry["result"] for entry in per_kernel.values()]
+        assert results[0] == results[1] == results[2]
 
     def test_default_matrix_names_are_valid(self):
         from repro.workloads.spec2000 import BENCHMARKS
@@ -184,16 +202,65 @@ class TestCheckMode:
         assert code == 2
         assert "WORKLOAD/POLICY" in capsys.readouterr().err
 
-    def test_check_requires_cell(self, report_path):
-        with pytest.raises(SystemExit):
-            bench_main(["--check", str(report_path)])
+    def test_check_without_cell_verifies_every_cell(self, report_path,
+                                                    capsys):
+        # --check REPORT alone sweeps every recorded macro cell.
+        code = bench_main(["--check", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert out.count("OK: ") == len(report["macro"])
+
+    def test_check_accepts_kernel_qualified_cell(self, report_path,
+                                                 capsys):
+        report = json.loads(report_path.read_text())
+        kernel = report["macro"][0]["kernel"]
+        cell = "mcf/sbar/%s" % kernel
+        code = bench_main(["--check", str(report_path), "--cell", cell])
+        assert code == 0
+        assert "OK: %s" % cell in capsys.readouterr().out
+
+    def test_check_unknown_kernel_cell_fails(self, report_path, capsys):
+        code = bench_main(
+            ["--check", str(report_path), "--cell", "mcf/sbar/nonesuch"]
+        )
+        assert code == 1
+        assert "no macro cell" in capsys.readouterr().err
 
     def test_committed_baseline_cell_verifies(self):
         # The exact check CI runs: re-simulate mcf/sbar at the
-        # committed baseline's recorded scale and compare the
-        # machine-independent result fields.
+        # committed v2-era baseline's recorded scale and compare the
+        # machine-independent result fields (legacy schemas must stay
+        # checkable forever).
         baseline = pathlib.Path(__file__).resolve().parent.parent / (
             "BENCH_pr4.json"
         )
         code = bench_main(["--check", str(baseline), "--cell", "mcf/sbar"])
         assert code == 0
+
+    @pytest.mark.parametrize("name,expected_schema", [
+        ("BENCH_pr4.json", "repro.bench/v2"),
+        ("BENCH_pr7.json", "repro.bench/v3"),
+        ("BENCH_pr8.json", "repro.bench/v4"),
+    ])
+    def test_committed_baselines_validate(self, name, expected_schema):
+        baseline = pathlib.Path(__file__).resolve().parent.parent / name
+        report = json.loads(baseline.read_text())
+        assert report["schema"] == expected_schema
+        validate_report(report)  # must not raise
+
+
+class TestFindMacroCell:
+    def test_kernel_narrows_v4_match(self, quick_report):
+        from repro.bench.report import find_macro_cell
+        report = json.loads(json.dumps(quick_report))
+        entry = dict(report["macro"][0])
+        entry["kernel"] = "generic"
+        entry["seconds"] = entry["seconds"] * 2
+        report["macro"].append(entry)
+        first = find_macro_cell(report, "mcf", "lru")
+        narrowed = find_macro_cell(report, "mcf", "lru", kernel="generic")
+        assert first["kernel"] == "auto"
+        assert narrowed["kernel"] == "generic"
+        with pytest.raises(ValueError, match="no macro cell"):
+            find_macro_cell(report, "mcf", "lru", kernel="batched")

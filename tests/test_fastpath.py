@@ -25,6 +25,7 @@ from repro.cache.sets import CacheSet
 from repro.config import CacheGeometry
 from repro.sim.simulator import Simulator
 from repro.trace.packed import pack_trace
+from repro.trace.record import Access
 from repro.workloads import build_trace, experiment_config
 
 
@@ -176,7 +177,11 @@ class TestFusedReplayDifferential:
     def test_fused_matches_generic_loop(self):
         trace = build_trace("mcf", scale=0.05)
         for policy in ("lru", "lin(4)", "sbar", "dip"):
-            fused_sim = Simulator(experiment_config(), policy)
+            # kernel="fused" pins the ladder rung: under "auto" a
+            # packed trace would take the batched kernel and the spy
+            # below would never fire.
+            fused_sim = Simulator(experiment_config(), policy,
+                                  kernel="fused")
             with mock.patch.object(
                 Simulator, "_replay_fused", wraps=fused_sim._replay_fused
             ) as fused_spy:
@@ -193,6 +198,111 @@ class TestFusedReplayDifferential:
             generic = generic_sim.run(trace)
             assert not generic_sim.fused_replay, policy
             assert fused.to_dict() == generic.to_dict(), policy
+
+
+class TestBatchedReplayDifferential:
+    """The PR 8 batched kernel: three-way kernel equivalence.
+
+    ``_replay_batched`` must produce bit-identical :class:`SimResult`
+    payloads to the fused loop and the generic loop for every policy
+    family it admits, and the kernel ladder must degrade exactly one
+    rung at a time: a requested kernel is a *ceiling*, never a demand.
+    """
+
+    POLICIES = ("lru", "lin(4)", "sbar", "cbs-global", "ehc", "awrp")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_batched_matches_fused_and_generic(self, policy):
+        trace = pack_trace(build_trace("mcf", scale=0.05))
+        batched_sim = Simulator(experiment_config(), policy)
+        with mock.patch.object(
+            Simulator, "_replay_batched",
+            wraps=batched_sim._replay_batched,
+        ) as batched_spy:
+            batched = batched_sim.run(trace)
+        assert batched_spy.called, policy  # really took the batched kernel
+        assert batched_sim.batched_replay, policy
+        assert batched_sim.replay_kernel == "batched", policy
+
+        fused_sim = Simulator(experiment_config(), policy, kernel="fused")
+        fused = fused_sim.run(trace)
+        assert fused_sim.replay_kernel == "fused", policy
+        assert not fused_sim.batched_replay, policy
+
+        generic_sim = Simulator(experiment_config(), policy,
+                                kernel="generic")
+        generic = generic_sim.run(trace)
+        assert generic_sim.replay_kernel == "generic", policy
+        assert not generic_sim.fused_replay, policy
+
+        assert batched.to_dict() == fused.to_dict(), policy
+        assert batched.to_dict() == generic.to_dict(), policy
+        if batched_sim.controller is not None:
+            assert (controller_fingerprint(batched_sim.controller)
+                    == controller_fingerprint(fused_sim.controller)), policy
+            assert (controller_fingerprint(batched_sim.controller)
+                    == controller_fingerprint(generic_sim.controller)), \
+                policy
+
+    def test_list_trace_falls_back_to_fused(self):
+        # The batched kernel needs the numpy column views of a
+        # PackedTrace; a list trace drops one rung even when batched
+        # is requested explicitly.
+        sim = Simulator(experiment_config(), "lru", kernel="batched")
+        sim.run(build_trace("mcf", scale=0.05))
+        assert sim.fused_replay
+        assert not sim.batched_replay
+        assert sim.replay_kernel == "fused"
+
+    def test_wrong_path_records_fall_back_to_fused(self):
+        trace = build_trace("mcf", scale=0.05)
+        trace[3] = Access(trace[3].address, trace[3].kind, trace[3].gap,
+                          wrong_path=True)
+        sim = Simulator(experiment_config(), "lru", kernel="batched")
+        sim.run(pack_trace(trace))
+        assert sim.fused_replay
+        assert not sim.batched_replay
+
+    def test_observer_forces_generic_loop_same_results(self):
+        trace = pack_trace(build_trace("mcf", scale=0.05))
+        observed_sim = Simulator(
+            experiment_config(), "lru", kernel="batched",
+            observer=obs.Observer(events=obs.MemoryEventTrace()),
+        )
+        observed = observed_sim.run(trace)
+        assert not observed_sim.fused_replay
+        assert not observed_sim.batched_replay
+        assert observed_sim.replay_kernel == "generic"
+        batched_sim = Simulator(experiment_config(), "lru")
+        batched = batched_sim.run(trace)
+        assert batched_sim.batched_replay
+        assert observed.to_dict() == batched.to_dict()
+
+    def test_warmup_falls_back_to_fused(self):
+        trace = pack_trace(build_trace("mcf", scale=0.05))
+        warm_sim = Simulator(experiment_config(), "lru", kernel="batched",
+                             warmup_instructions=1000)
+        warm = warm_sim.run(trace)
+        assert warm_sim.fused_replay
+        assert not warm_sim.batched_replay
+        plain_sim = Simulator(experiment_config(), "lru", kernel="fused",
+                              warmup_instructions=1000)
+        plain = plain_sim.run(trace)
+        assert warm.to_dict() == plain.to_dict()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            Simulator(experiment_config(), "lru", kernel="vectorized")
+
+    def test_kernel_never_changes_results_across_ladder(self):
+        # One policy, every requested kernel: identical SimResult —
+        # the contract that keeps `kernel` out of memo/store keys.
+        trace = pack_trace(build_trace("art", scale=0.05))
+        results = {}
+        for kernel in ("auto", "batched", "fused", "generic"):
+            sim = Simulator(experiment_config(), "sbar", kernel=kernel)
+            results[kernel] = sim.run(trace).to_dict()
+        assert all(r == results["auto"] for r in results.values())
 
 
 def controller_fingerprint(controller):

@@ -13,8 +13,12 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro import obs
 from repro.config import MSHRConfig, scaled_config
 from repro.experiments import figure1, sensitivity
+from repro.sim.simulator import Simulator
+from repro.trace.packed import pack_trace
+from repro.workloads import build_trace, experiment_config
 
 #: Small but non-trivial: enough accesses for misses to overlap.
 SCALE = 0.05
@@ -36,6 +40,37 @@ class TestFigure1Golden:
         assert belady[0] < lin[0] <= lru[0]  # OPT minimizes misses
         assert lin[1] < lru[1]  # LIN takes fewer long stalls than LRU
         assert lin[1] < belady[1]  # ... and than OPT
+
+
+class TestKernelGolden:
+    """Full SimResult fingerprints per replay kernel, snapshotted.
+
+    The differential tests assert the three kernels agree with *each
+    other*; this golden pins them all to a committed snapshot, so a
+    change that shifts every kernel in lockstep (a genuine behavior
+    change) still trips a test instead of sliding through.  The
+    observer-fallback run rides along: telemetry must never perturb
+    simulated numbers.
+    """
+
+    def test_simresult_fingerprints_per_kernel(self, golden_check):
+        trace = pack_trace(build_trace("mcf", scale=SCALE))
+        payload = {}
+        for policy in ("lru", "sbar"):
+            per_kernel = {}
+            for kernel in ("batched", "fused", "generic"):
+                sim = Simulator(experiment_config(), policy, kernel=kernel)
+                result = sim.run(trace)
+                assert sim.replay_kernel == kernel, (policy, kernel)
+                per_kernel[kernel] = result.to_dict()
+            observed = Simulator(
+                experiment_config(), policy,
+                observer=obs.Observer(events=obs.MemoryEventTrace()),
+            )
+            per_kernel["observer-fallback"] = observed.run(trace).to_dict()
+            assert observed.replay_kernel == "generic", policy
+            payload[policy] = per_kernel
+        golden_check("kernels", payload)
 
 
 class TestSensitivityGolden:

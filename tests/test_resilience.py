@@ -233,6 +233,35 @@ class TestRunOptions:
         with pytest.raises(TypeError, match="not both"):
             resolve_options(RunOptions(), "run_grid", workers=2)
 
+    def test_kernel_defaults_to_auto(self):
+        assert RunOptions().kernel == "auto"
+
+    @pytest.mark.parametrize("kernel",
+                             ["auto", "batched", "fused", "generic"])
+    def test_kernel_accepts_ladder_names(self, kernel):
+        assert RunOptions(kernel=kernel).kernel == kernel
+
+    def test_kernel_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="kernel"):
+            RunOptions(kernel="vectorised")
+
+    def test_kernel_never_in_memo_key(self):
+        # Kernels are bit-identical by contract, so two option sets
+        # that differ only in kernel must share one memo entry: the
+        # second call is a cache hit, not a re-simulation.
+        from repro.sim import runner
+        first = runner.run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="fused"),
+        )
+        hits_before = runner._MEMO_HITS["memo_hits"]
+        second = runner.run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="generic"),
+        )
+        assert second is first
+        assert runner._MEMO_HITS["memo_hits"] == hits_before + 1
+
 
 class TestCommonCli:
     def _parse(self, argv):
@@ -275,6 +304,18 @@ class TestCommonCli:
     def test_progress_flag_installs_printer(self):
         options = common_cli.options_from_args(self._parse(["--progress"]))
         assert options.progress is common_cli.progress_printer
+
+    def test_kernel_flag_maps_to_options(self):
+        options = common_cli.options_from_args(
+            self._parse(["--kernel", "batched"])
+        )
+        assert options.kernel == "batched"
+        assert common_cli.options_from_args(self._parse([])).kernel == "auto"
+
+    def test_kernel_flag_rejects_unknown_name(self, capsys):
+        with pytest.raises(SystemExit):
+            self._parse(["--kernel", "vectorised"])
+        assert "invalid choice" in capsys.readouterr().err
 
     @pytest.mark.parametrize("module", [
         "repro.sim.__main__",

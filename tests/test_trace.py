@@ -248,6 +248,241 @@ class TestPackedTrace:
         packed.validate()  # empty columns are trivially valid
 
 
+class TestWrongPathIndexing:
+    """Regressions for the wrong-path bitset indexing fixes.
+
+    ``wrong_path(-1)`` used to wrap through the *bitset* (8x shorter
+    than the trace): ``bits[-1 >> 3]`` read the last byte and
+    ``>> (-1 & 7)`` its top bit, i.e. the flag of whichever record
+    happens to sit at position ``8 * len(bits) - 1`` — not the last
+    record.  ``trace[True]`` used to read record 1 because ``bool`` is
+    an ``int`` subclass.  Both are rejected now.
+    """
+
+    @staticmethod
+    def _trace(n=12, flagged=(3,)):
+        return PackedTrace.from_accesses([
+            Access(64 * i, LOAD, 0, wrong_path=(i in flagged))
+            for i in range(n)
+        ])
+
+    def test_wrong_path_rejects_negative_index(self):
+        # 12 records / flag on record 3: the pre-fix wrap read bit 7 of
+        # the last bitset byte (record 15's slot) and returned False
+        # without complaint; record -1 must be an error, not a guess.
+        packed = self._trace()
+        with pytest.raises(IndexError):
+            packed.wrong_path(-1)
+        with pytest.raises(IndexError):
+            packed.wrong_path(-12)
+
+    def test_wrong_path_rejects_bool_and_non_int(self):
+        packed = self._trace()
+        with pytest.raises(TypeError):
+            packed.wrong_path(True)
+        with pytest.raises(TypeError):
+            packed.wrong_path(3.0)
+
+    def test_getitem_rejects_bool(self):
+        # trace[True] is a likely logic bug (e.g. trace[flag]); it must
+        # not silently read record 1.
+        packed = self._trace()
+        with pytest.raises(TypeError):
+            packed[True]
+        with pytest.raises(TypeError):
+            packed[False]
+
+    def test_getitem_negative_wrap_reads_correct_wrong_path_flag(self):
+        # The last record's flag lives in the *second* bitset byte; a
+        # bitset-relative wrap would look at the wrong byte entirely.
+        packed = self._trace(n=12, flagged=(11,))
+        assert packed[-1].wrong_path is True
+        assert packed[-2].wrong_path is False
+        assert packed[11] == packed[-1]
+
+    def test_wrong_path_in_bounds_still_works(self):
+        packed = self._trace(n=12, flagged=(0, 3, 9))
+        flags = [packed.wrong_path(i) for i in range(12)]
+        assert [i for i, f in enumerate(flags) if f] == [0, 3, 9]
+
+
+class TestFromColumns:
+    """The shared validating constructor every importer must use."""
+
+    @staticmethod
+    def _columns(n=5):
+        from array import array
+        return (
+            array("q", [64 * i for i in range(n)]),
+            array("b", [LOAD] * n),
+            array("q", [0] * n),
+        )
+
+    def test_round_trips_valid_columns(self):
+        addresses, kinds, gaps = self._columns()
+        packed = PackedTrace.from_columns(addresses, kinds, gaps)
+        assert len(packed) == 5
+        assert packed.wrong_path_count == 0
+        assert packed.to_accesses() == [
+            Access(64 * i, LOAD, 0) for i in range(5)
+        ]
+
+    def test_rejects_n_wrong_without_bitset(self):
+        addresses, kinds, gaps = self._columns()
+        with pytest.raises(ValueError, match="n_wrong"):
+            PackedTrace.from_columns(addresses, kinds, gaps, None, 1)
+
+    def test_rejects_n_wrong_bitset_disagreement(self):
+        addresses, kinds, gaps = self._columns()
+        with pytest.raises(ValueError, match="disagrees"):
+            PackedTrace.from_columns(
+                addresses, kinds, gaps, bytearray([0b1]), 2
+            )
+
+    def test_rejects_bits_past_the_last_record(self):
+        # 5 records: bits 5..7 of the single bitset byte must be zero
+        # (the content digest hashes the raw bitset bytes).
+        addresses, kinds, gaps = self._columns()
+        with pytest.raises(ValueError, match="past the last record"):
+            PackedTrace.from_columns(
+                addresses, kinds, gaps, bytearray([0b100000]), 1
+            )
+
+    def test_rejects_invalid_column_values(self):
+        from array import array
+        with pytest.raises(ValueError):
+            PackedTrace.from_columns(
+                array("q", [-64]), array("b", [LOAD]), array("q", [0])
+            )
+        with pytest.raises(ValueError):
+            PackedTrace.from_columns(
+                array("q", [64]), array("b", [99]), array("q", [0])
+            )
+        with pytest.raises(ValueError):
+            PackedTrace.from_columns(
+                array("q", [64]), array("b", [LOAD]), array("q", [-1])
+            )
+
+    def test_rejects_mismatched_column_lengths(self):
+        from array import array
+        with pytest.raises(ValueError):
+            PackedTrace.from_columns(
+                array("q", [64, 128]), array("b", [LOAD]), array("q", [0])
+            )
+
+
+class TestSliceConcatenateProperties:
+    """Property tests over the aligned-bytes fast paths.
+
+    ``slice`` splices the wrong-path bitset at C speed when the start
+    is byte-aligned and ``concatenate`` when the destination base is;
+    both must agree bit-for-bit (including the trailing-zero invariant
+    the content digest depends on) with the per-record slow path and
+    with packing the equivalent ``Access`` list from scratch.
+    """
+
+    @settings(max_examples=120, deadline=None)
+    @given(accesses=_packable_accesses(), data=st.data())
+    def test_slice_matches_list_slicing(self, accesses, data):
+        packed = PackedTrace.from_accesses(accesses)
+        n = len(accesses)
+        start = data.draw(st.integers(min_value=-3, max_value=n + 3))
+        stop = data.draw(st.integers(min_value=-3, max_value=n + 3))
+        sliced = packed.slice(start, stop)
+        clamped_start = max(0, min(n, start))
+        clamped_stop = max(clamped_start, min(n, stop))
+        expected = accesses[clamped_start:clamped_stop]
+        assert sliced.to_accesses() == expected
+        assert sliced.wrong_path_count == sum(
+            1 for a in expected if a.wrong_path
+        )
+        # Digest equality is the strong form: it sees the raw bitset
+        # bytes, so a stray bit past the last record would show here
+        # even though record-level reads mask it.
+        assert (sliced.content_digest()
+                == PackedTrace.from_accesses(expected).content_digest())
+
+    @settings(max_examples=80, deadline=None)
+    @given(chunks=st.lists(_packable_accesses(), max_size=4))
+    def test_concatenate_matches_list_concat(self, chunks):
+        traces = [PackedTrace.from_accesses(chunk) for chunk in chunks]
+        joined = PackedTrace.concatenate(traces)
+        expected = [access for chunk in chunks for access in chunk]
+        assert joined.to_accesses() == expected
+        assert joined.wrong_path_count == sum(
+            1 for a in expected if a.wrong_path
+        )
+        assert (joined.content_digest()
+                == PackedTrace.from_accesses(expected).content_digest())
+
+    def test_aligned_slice_masks_trailing_source_bits(self):
+        # Deterministic pre-fix failure: byte-aligned start, unaligned
+        # count, and a wrong-path bit just past ``stop`` — the spliced
+        # last byte used to keep that bit, corrupting the digest.
+        accesses = [
+            Access(64 * i, LOAD, 0, wrong_path=(i == 11))
+            for i in range(16)
+        ]
+        packed = PackedTrace.from_accesses(accesses)
+        sliced = packed.slice(8, 11)  # record 11's flag is in-byte
+        assert sliced.wrong_path_count == 0
+        assert (sliced.content_digest()
+                == PackedTrace.from_accesses(accesses[8:11]).content_digest())
+
+    def test_unaligned_concat_after_aligned_splice(self):
+        # An aligned first chunk followed by unaligned ORing chunks.
+        first = [Access(64 * i, LOAD, 0, wrong_path=(i % 5 == 0))
+                 for i in range(11)]
+        second = [Access(64 * i, STORE, 1, wrong_path=(i % 3 == 0))
+                  for i in range(7)]
+        joined = PackedTrace.concatenate([
+            PackedTrace.from_accesses(first),
+            PackedTrace.from_accesses(second),
+        ])
+        expected = PackedTrace.from_accesses(first + second)
+        assert joined == expected
+        assert joined.content_digest() == expected.content_digest()
+
+
+class TestTraceIoRoundTrip:
+    """The npz loader must preserve content digests bit-for-bit."""
+
+    def test_npz_roundtrip_preserves_content_digest(self, tmp_path):
+        from repro.trace.trace_io import load_packed_trace, save_trace
+        accesses = [
+            Access(64 * i, [LOAD, STORE, IFETCH][i % 3], gap=i % 9,
+                   wrong_path=(i % 7 == 0))
+            for i in range(100)
+        ]
+        packed = PackedTrace.from_accesses(accesses)
+        path = str(tmp_path / "trace.npz")
+        save_trace(path, packed)
+        loaded = load_packed_trace(path)
+        assert loaded == packed
+        assert loaded.wrong_path_count == packed.wrong_path_count
+        assert loaded.content_digest() == packed.content_digest()
+
+    def test_champsim_fixture_digest_survives_npz_roundtrip(self, tmp_path):
+        # The committed ChampSim fixture through the full pipeline:
+        # text import -> npz save -> bulk frombytes load must keep the
+        # content digest (the persistent store and bench --check key
+        # on it).
+        import pathlib
+        from repro.trace.trace_io import (
+            load_packed_trace, open_trace, save_trace,
+        )
+        fixture = str(
+            pathlib.Path(__file__).parent / "fixtures" / "mix4k.champsim.gz"
+        )
+        imported = open_trace(fixture)
+        assert len(imported) > 0
+        path = str(tmp_path / "mix4k.npz")
+        save_trace(path, imported)
+        loaded = load_packed_trace(path)
+        assert loaded == imported
+        assert loaded.content_digest() == imported.content_digest()
+
+
 class TestFigure1:
     def test_pattern_matches_paper(self):
         assert FIGURE1_PATTERN == (
