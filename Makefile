@@ -2,10 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-pytest suite oracle chaos workload-zoo experiments experiments-fast examples lint clean
+.PHONY: install native test bench bench-quick bench-pytest suite oracle chaos workload-zoo experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+# Compile the optional C replay kernel in place (the `native` rung of
+# the kernel ladder).  Failure is non-fatal by design: without the
+# extension the ladder resolves to the batched kernel.
+native:
+	$(PYTHON) setup.py build_ext --inplace
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -17,8 +17,10 @@ digest mismatch means the simulation kernel changed behavior.  Timings
 are never compared.
 
 ``--kernel`` selects the replay kernel the macro cells request
-(recorded per cell in the v4 schema); ``--kernel all`` times the
-batched, fused, and generic kernels side by side in one report.
+(recorded per cell since the v4 schema; the v5 schema additionally
+records ``kernel_used``, the rung the ladder actually resolved to);
+``--kernel all`` times the native, batched, fused, and generic kernels
+side by side in one report.
 """
 
 from __future__ import annotations
@@ -100,10 +102,10 @@ def main(argv=None) -> int:
     # to time every kernel side by side in one report.
     parser.add_argument(
         "--kernel", default="auto",
-        choices=("auto", "batched", "fused", "generic", "all"),
+        choices=("auto", "native", "batched", "fused", "generic", "all"),
         help="replay kernel the macro cells request (recorded per "
-             "cell); 'all' times batched, fused, and generic kernels "
-             "side by side",
+             "cell); 'all' times native, batched, fused, and generic "
+             "kernels side by side",
     )
     parser.add_argument(
         "--out", default=None,
@@ -184,7 +186,7 @@ def main(argv=None) -> int:
 
     print("running macro-benchmarks%s..." % (" (quick)" if args.quick else ""))
     kernels = (
-        ("batched", "fused", "generic")
+        ("native", "batched", "fused", "generic")
         if args.kernel == "all"
         else (args.kernel,)
     )
@@ -195,12 +197,16 @@ def main(argv=None) -> int:
             kernel=kernel,
         ))
     for entry in macro:
+        resolved = (
+            ""
+            if entry["kernel_used"] == entry["kernel"]
+            else " -> %s" % entry["kernel_used"]
+        )
         print(
-            "  %-4s/%-10s %-7s %8.0f accesses/s  (%.3fs, %d L2 misses%s)"
+            "  %-4s/%-10s %-7s%s %8.0f accesses/s  (%.3fs, %d L2 misses)"
             % (entry["workload"], entry["policy"], entry["kernel"],
-               entry["accesses_per_sec"], entry["seconds"],
-               entry["result"]["l2_misses"],
-               "" if entry["fused"] else ", generic loop")
+               resolved, entry["accesses_per_sec"], entry["seconds"],
+               entry["result"]["l2_misses"])
         )
 
     report = build_report(micro, macro, tag=args.tag)

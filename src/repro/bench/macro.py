@@ -99,6 +99,7 @@ def run_macro(
                 "accesses_per_sec": 0.0,
                 "fused": False,
                 "kernel": kernel,
+                "kernel_used": "generic",
                 "result": None,
                 "_trace": trace,
             })
@@ -112,6 +113,7 @@ def run_macro(
                 entry["seconds"] = elapsed
                 entry["accesses_per_sec"] = entry["accesses"] / elapsed
                 entry["fused"] = sim.fused_replay
+                entry["kernel_used"] = sim.replay_kernel
                 entry["result"] = macro_result_fields(result)
     for entry in entries:
         del entry["_trace"]

@@ -32,7 +32,13 @@ v4 added ``kernel`` to every macro cell: the replay kernel the cell was
 report can time the same workload/policy matrix per kernel and the
 digest check can verify each kernel reproduces the same results.  The
 ``fused`` flag still records whether a fast replay loop actually ran.
-Legacy reports stay readable (``validate_report`` accepts v2 and v3;
+
+v5 added ``kernel_used``: the rung the kernel ladder actually resolved
+to (the request is only a ceiling — a host without the compiled
+extension resolves a ``native`` request to ``batched``).  A committed
+baseline therefore records both what was asked and what ran, and a
+silent rung downgrade on a future host shows up as data.  Legacy
+reports stay readable (``validate_report`` accepts v2–v4;
 ``check_macro_cell`` compares only the fields a report recorded and
 re-simulates kernel-less cells under ``auto``).
 
@@ -55,21 +61,26 @@ from typing import Dict, List, Optional
 
 #: Current report schema identifier; bump the suffix on breaking shape
 #: changes so old reports stay recognizable.
-SCHEMA = "repro.bench/v4"
+SCHEMA = "repro.bench/v5"
 
 #: Older schemas ``validate_report`` still accepts (committed baseline
 #: reports from earlier PRs must stay checkable).
-_LEGACY_SCHEMAS = ("repro.bench/v3", "repro.bench/v2")
+_LEGACY_SCHEMAS = ("repro.bench/v4", "repro.bench/v3", "repro.bench/v2")
 
 _MICRO_FIELDS = {"name": str, "ops": int, "seconds": float,
                  "ops_per_sec": float}
 _MACRO_FIELDS = {"workload": str, "policy": str, "accesses": int,
                  "scale": float, "seconds": float,
                  "accesses_per_sec": float, "fused": bool,
-                 "kernel": str, "result": dict}
+                 "kernel": str, "kernel_used": str, "result": dict}
+#: Macro cell fields before v5 added the resolved ``kernel_used``.
+_MACRO_FIELDS_V4 = {
+    field: expected for field, expected in _MACRO_FIELDS.items()
+    if field != "kernel_used"
+}
 #: Macro cell fields before v4 added the per-cell ``kernel``.
 _MACRO_FIELDS_LEGACY = {
-    field: expected for field, expected in _MACRO_FIELDS.items()
+    field: expected for field, expected in _MACRO_FIELDS_V4.items()
     if field != "kernel"
 }
 _RESULT_FIELDS = {"l2_misses": int, "cycles": float, "demand_misses": int,
@@ -156,10 +167,10 @@ def _check_fields(entry: object, spec: Dict[str, type], where: str) -> None:
 def validate_report(report: object) -> None:
     """Raise ``ValueError`` when ``report`` violates its schema.
 
-    Accepts the current v4 schema and the legacy v3/v2 schemas (v3
-    macro cells lack ``kernel``, v2 results additionally lack
-    ``stall_cycles``); committed baseline reports from earlier PRs
-    therefore stay valid.
+    Accepts the current v5 schema and the legacy v4/v3/v2 schemas (v4
+    macro cells lack ``kernel_used``, v3 additionally lack ``kernel``,
+    v2 results additionally lack ``stall_cycles``); committed baseline
+    reports from earlier PRs therefore stay valid.
     """
     if not isinstance(report, dict):
         raise ValueError("report must be an object, got %r" % (report,))
@@ -169,7 +180,12 @@ def validate_report(report: object) -> None:
             "unknown schema %r (expected %r or one of %r)"
             % (schema, SCHEMA, _LEGACY_SCHEMAS)
         )
-    macro_fields = _MACRO_FIELDS if schema == SCHEMA else _MACRO_FIELDS_LEGACY
+    if schema == SCHEMA:
+        macro_fields = _MACRO_FIELDS
+    elif schema == "repro.bench/v4":
+        macro_fields = _MACRO_FIELDS_V4
+    else:
+        macro_fields = _MACRO_FIELDS_LEGACY
     result_fields = (
         _RESULT_FIELDS_V2 if schema == "repro.bench/v2" else _RESULT_FIELDS
     )

@@ -72,9 +72,10 @@ def execution_parent() -> argparse.ArgumentParser:
     )
     group.add_argument(
         "--kernel", default="auto",
-        choices=("auto", "batched", "fused", "generic"),
+        choices=("auto", "native", "batched", "fused", "generic"),
         help="replay kernel ceiling (all kernels are bit-identical; "
-             "default auto picks the fastest whose gates hold)",
+             "default auto picks the fastest whose gates hold — the "
+             "compiled native kernel when built, else batched)",
     )
     # Deprecated spellings from the pre-RunOptions CLIs; folded (with a
     # warning) into --deadline / --max-retries by options_from_args.

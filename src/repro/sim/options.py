@@ -69,9 +69,11 @@ class RunOptions:
       deterministic fault injection (tests/CI only).
     * ``kernel`` — replay kernel ceiling passed to every
       :class:`~repro.sim.simulator.Simulator` (``"auto"``,
-      ``"batched"``, ``"fused"``, or ``"generic"``).  All kernels are
-      bit-identical, so the choice never enters memo or store keys —
-      a cached result satisfies a request under any kernel.
+      ``"native"``, ``"batched"``, ``"fused"``, or ``"generic"``).
+      All kernels are bit-identical, so the choice never enters memo
+      or store keys — a cached result satisfies a request under any
+      kernel, and ``SimResult.meta["kernel_used"]`` records which rung
+      actually produced it.
     """
 
     workers: int = 0

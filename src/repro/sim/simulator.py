@@ -51,7 +51,7 @@ from repro.trace.packed import PackedTrace
 from repro.trace.record import IFETCH, STORE
 
 #: Valid ``Simulator(kernel=...)`` selections, fastest first.
-REPLAY_KERNELS = ("auto", "batched", "fused", "generic")
+REPLAY_KERNELS = ("auto", "native", "batched", "fused", "generic")
 
 #: Things accepted as the L2 replacement specification.
 PolicyLike = Union[
@@ -98,12 +98,14 @@ class Simulator:
             (None — and therefore zero overhead — unless telemetry is
             enabled in the environment).
         kernel: replay-kernel selection: ``"auto"`` (default) takes the
-            fastest kernel whose gate holds — batched, then fused, then
-            the generic loop; ``"batched"``/``"fused"``/``"generic"``
-            cap the ladder at that kernel (lower rungs still apply when
-            a gate fails — the request is a ceiling, never a promise).
-            All kernels are bit-identical by contract, so the choice
-            never appears in memo or store keys.
+            fastest kernel whose gate holds — native, then batched,
+            then fused, then the generic loop; ``"native"``/
+            ``"batched"``/``"fused"``/``"generic"`` cap the ladder at
+            that kernel (lower rungs still apply when a gate fails —
+            the request is a ceiling, never a promise; a missing C
+            extension simply drops ``native`` to ``batched``).  All
+            kernels are bit-identical by contract, so the choice never
+            appears in memo or store keys.
         track_deltas: feed serviced misses to the Table 1
             :class:`~repro.mlp.delta.DeltaTracker`.  The tracker keeps
             the last cost of every distinct block, so its footprint
@@ -188,8 +190,10 @@ class Simulator:
         self.fused_replay = False
         #: Whether :meth:`run` took the numpy batched kernel.
         self.batched_replay = False
-        #: Which kernel :meth:`run` actually took: ``"batched"``,
-        #: ``"fused"``, or ``"generic"``.
+        #: Whether :meth:`run` took the compiled C replay kernel.
+        self.native_replay = False
+        #: Which kernel :meth:`run` actually took: ``"native"``,
+        #: ``"batched"``, ``"fused"``, or ``"generic"``.
         self.replay_kernel = "generic"
 
     def _wire_observer(self, observer: obs.Observer) -> None:
@@ -276,7 +280,7 @@ class Simulator:
             # the demand heap flatten into a deque).  Anything else
             # falls one rung down the ladder to the fused loop.
             if (
-                self._kernel in ("auto", "batched")
+                self._kernel in ("auto", "native", "batched")
                 and isinstance(trace, PackedTrace)
                 and trace.wrong_path_count == 0
                 and self.warmup_instructions == 0
@@ -291,6 +295,15 @@ class Simulator:
                 and type(memory.banks) is DramBankArray
                 and memory.bus.occupancy > 0
             ):
+                # Top rung: the compiled C kernel.  Its gate narrows
+                # further (supported policy/controller shapes, pristine
+                # machine state); a missing extension or a failed check
+                # drops exactly one rung to batched, never errors.
+                if self._kernel in ("auto", "native"):
+                    from repro.sim import native as _native
+
+                    if _native.try_replay(self, trace):
+                        return None
                 try:
                     import numpy  # noqa: F401
                 except ImportError:
@@ -2415,6 +2428,10 @@ class Simulator:
             - getattr(self, "_warmup_writebacks", 0),
             psel_final=psel_final,
         )
+        # Provenance only: which rung actually ran.  Stored on the
+        # instance (never a dataclass field), so digests, store keys,
+        # and serialized payloads are untouched — see SimResult.meta.
+        result.meta = {"kernel_used": self.replay_kernel}
         if self._obs is not None:
             result.metrics = self._obs.finalize_run(self, result)
         return result

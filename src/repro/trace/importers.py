@@ -1,22 +1,29 @@
-"""Streaming text-trace importers: external address streams, packed.
+"""Streaming trace importers: external address streams, packed.
 
-Real traces come as (often compressed) text streams with one memory
-access per line.  These importers decode them *streamingly* — gzip/xz
-chunked decode through a buffered text wrapper, straight into
-:class:`~repro.trace.packed.PackedTrace` columns — so a million-record
-trace never materializes a single :class:`~repro.trace.record.Access`
-object and peak memory stays at the ~17 bytes/record of the packed
-columns.
+Real traces come as (often compressed) text or binary streams.  These
+importers decode them *streamingly* — gzip/xz chunked decode, straight
+into :class:`~repro.trace.packed.PackedTrace` columns — so a
+million-record trace never materializes a single
+:class:`~repro.trace.record.Access` object and peak memory stays at
+the ~17 bytes/record of the packed columns.
 
-Two line formats are supported:
+Three formats are supported:
 
-* **ChampSim-style** (:func:`load_champsim`) — one access per line,
-  ``ADDRESS KIND [GAP]``: a hex (``0x...``) or decimal byte address, a
-  kind letter (``R``/``L``/``0`` load, ``W``/``S``/``1`` store, ``I``/
-  ``2`` instruction fetch), and an optional non-memory-instruction gap
-  (default ``--gap``, the surrogate burst gap).  ``#`` starts a
-  comment.  This is the flat form ChampSim-converted traces are
-  commonly exchanged in.
+* **ChampSim-style text** (:func:`load_champsim`) — one access per
+  line, ``ADDRESS KIND [GAP]``: a hex (``0x...``) or decimal byte
+  address, a kind letter (``R``/``L``/``0`` load, ``W``/``S``/``1``
+  store, ``I``/``2`` instruction fetch), and an optional
+  non-memory-instruction gap (default ``--gap``, the surrogate burst
+  gap).  ``#`` starts a comment.  This is the flat form
+  ChampSim-converted traces are commonly exchanged in.
+* **ChampSim binary** (:func:`load_champsim_binary`) — the tracer's
+  native 64-byte little-endian ``input_instr`` record (instruction
+  pointer, branch flags, register ids, two destination-memory and four
+  source-memory operand addresses).  Non-memory instructions are
+  counted into the next access's gap; non-zero source operands become
+  loads, destination operands become stores.  :func:`load_champsim`
+  sniffs binary files and dispatches here, so ``champsim:/path`` specs
+  accept both forms.
 * **Valgrind lackey** (:func:`load_lackey`) — ``valgrind --tool=lackey
   --trace-mem=yes`` output: ``I`` lines (instruction fetches) are not
   materialized but *counted* into the next data line's gap; `` L``/
@@ -25,14 +32,17 @@ Two line formats are supported:
 
 Compression is sniffed from file magic (gzip ``1f 8b``, xz ``fd 37 7a
 58 5a 00``), never from the file name, so ``champsim:/path`` specs work
-on any extension.
+on any extension.  Text vs binary is sniffed from the *decompressed*
+leading bytes (text traces are pure ASCII; a binary record always
+carries NUL bytes in its high address bytes).
 """
 
 from __future__ import annotations
 
 import io
+import struct
 from array import array
-from typing import Optional, TextIO
+from typing import BinaryIO, Optional, TextIO
 
 from repro.trace.packed import PackedTrace
 from repro.trace.record import IFETCH, LOAD, STORE
@@ -51,8 +61,8 @@ _KIND_LETTERS = {
 }
 
 
-def open_stream(path: str) -> TextIO:
-    """Open ``path`` as a text stream, decompressing gzip/xz by magic.
+def open_binary_stream(path: str) -> BinaryIO:
+    """Open ``path`` as a binary stream, decompressing gzip/xz by magic.
 
     Decompression is chunked (the standard library's streaming
     decoders), so compressed traces never inflate fully in memory.
@@ -64,17 +74,22 @@ def open_stream(path: str) -> TextIO:
         if magic.startswith(_GZIP_MAGIC):
             import gzip
 
-            binary = gzip.open(handle, "rb")
-        elif magic.startswith(_XZ_MAGIC):
+            return gzip.open(handle, "rb")
+        if magic.startswith(_XZ_MAGIC):
             import lzma
 
-            binary = lzma.open(handle, "rb")
-        else:
-            binary = handle
+            return lzma.open(handle, "rb")
+        return handle
     except BaseException:
         handle.close()
         raise
-    return io.TextIOWrapper(binary, encoding="utf-8", errors="replace")
+
+
+def open_stream(path: str) -> TextIO:
+    """Open ``path`` as a text stream, decompressing gzip/xz by magic."""
+    return io.TextIOWrapper(
+        open_binary_stream(path), encoding="utf-8", errors="replace"
+    )
 
 
 def _parse_address(token: str, path: str, line_no: int) -> int:
@@ -92,15 +107,105 @@ def _finish(
     return PackedTrace.from_columns(addresses, kinds, gaps)
 
 
+#: ChampSim's native 64-byte tracer record (``input_instr``): the
+#: instruction pointer, two branch flag bytes, two destination and four
+#: source register ids, then two destination-memory and four
+#: source-memory operand addresses.  Little-endian, no padding (the
+#: eight flag/register bytes keep the memory operands 8-aligned).
+CHAMPSIM_RECORD = struct.Struct("<Q8B2Q4Q")
+
+#: Unpacked-tuple slices for the memory operands (after ip and the
+#: eight flag/register bytes).
+_DEST_MEM = slice(9, 11)
+_SRC_MEM = slice(11, 15)
+
+
+def sniff_binary_champsim(path: str) -> bool:
+    """True when ``path`` decompresses to ChampSim binary records.
+
+    Text traces (ChampSim lines, lackey) are pure ASCII and never
+    contain NUL bytes; every 64-byte binary record does (the high
+    bytes of its addresses).  Reads at most two records.
+    """
+    with open_binary_stream(path) as stream:
+        head = stream.read(2 * CHAMPSIM_RECORD.size)
+    return len(head) >= CHAMPSIM_RECORD.size and b"\x00" in head
+
+
+def load_champsim_binary(
+    path: str, limit: Optional[int] = None
+) -> PackedTrace:
+    """Import a native ChampSim binary (``input_instr``) trace.
+
+    Each 64-byte record is one instruction.  Records without memory
+    operands are counted into the next access's gap (like lackey's
+    ``I`` lines); non-zero source-memory operands become loads and
+    destination-memory operands stores, the first access of a record
+    carrying the accumulated gap.  ``limit`` stops after that many
+    packed accesses.  A trailing partial record is an error — it means
+    a truncated download, not a short trace.
+    """
+    addresses = array("q")
+    kinds = array("b")
+    gaps = array("q")
+    record_size = CHAMPSIM_RECORD.size
+    pending_gap = 0
+    with open_binary_stream(path) as stream:
+        read = stream.read
+        unpack_from = CHAMPSIM_RECORD.unpack_from
+        while limit is None or len(addresses) < limit:
+            chunk = read(record_size << 10)  # 1024 records per syscall
+            if not chunk:
+                break
+            usable = len(chunk) - len(chunk) % record_size
+            if usable != len(chunk):
+                tail = read(record_size - (len(chunk) - usable))
+                if len(tail) != record_size - (len(chunk) - usable):
+                    raise ValueError(
+                        "%s: truncated ChampSim record at byte %d"
+                        % (path, usable)
+                    )
+                chunk += tail
+                usable = len(chunk)
+            for offset in range(0, usable, record_size):
+                fields = unpack_from(chunk, offset)
+                first = len(addresses)
+                for address in fields[_SRC_MEM]:
+                    if address:
+                        addresses.append(address)
+                        kinds.append(LOAD)
+                        gaps.append(0)
+                for address in fields[_DEST_MEM]:
+                    if address:
+                        addresses.append(address)
+                        kinds.append(STORE)
+                        gaps.append(0)
+                if len(addresses) == first:
+                    pending_gap += 1
+                else:
+                    gaps[first] = pending_gap
+                    pending_gap = 0
+    if limit is not None and len(addresses) > limit:
+        return _finish(
+            addresses[:limit], kinds[:limit], gaps[:limit]
+        )
+    return _finish(addresses, kinds, gaps)
+
+
 def load_champsim(
     path: str, gap: Optional[int] = None, limit: Optional[int] = None
 ) -> PackedTrace:
-    """Import a ChampSim-style ``ADDRESS KIND [GAP]`` text trace.
+    """Import a ChampSim trace, text (``ADDRESS KIND [GAP]``) or binary.
 
+    Binary ``input_instr`` files are sniffed by content and routed to
+    :func:`load_champsim_binary` (``gap`` does not apply there: binary
+    records carry their own instruction counts).  For text traces,
     ``gap`` is the non-memory-instruction gap assumed for lines that
     do not carry their own third column; ``limit`` stops after that
-    many records.
+    many records in either form.
     """
+    if sniff_binary_champsim(path):
+        return load_champsim_binary(path, limit=limit)
     default_gap = DEFAULT_GAP if gap is None else int(gap)
     if default_gap < 0:
         raise ValueError("gap must be non-negative, got %d" % default_gap)
@@ -186,8 +291,12 @@ def sniff_text_format(path: str) -> str:
 
 __all__ = [
     "open_stream",
+    "open_binary_stream",
     "load_champsim",
+    "load_champsim_binary",
     "load_lackey",
+    "sniff_binary_champsim",
     "sniff_text_format",
+    "CHAMPSIM_RECORD",
     "DEFAULT_GAP",
 ]

@@ -7,10 +7,11 @@ native format is four parallel numpy arrays (address, kind, gap,
 wrong_path) plus a format version, in a compressed ``.npz``.
 
 Loading goes through one front door: :func:`open_trace` sniffs the
-file's *content* — zip magic means the packed npz record format; gzip,
-xz, or plain text routes to the streaming text importers of
-:mod:`repro.trace.importers` (ChampSim-style vs valgrind-lackey lines,
-also sniffed) — and always returns a
+file's *content* — zip magic means the packed npz record format;
+anything else routes to the streaming importers of
+:mod:`repro.trace.importers` (ChampSim binary records vs
+ChampSim-style vs valgrind-lackey text lines, also sniffed) — and
+always returns a
 :class:`~repro.trace.packed.PackedTrace`.  The historical
 :func:`load_trace` / :func:`load_packed_trace` remain as thin wrappers
 over it.
@@ -116,6 +117,8 @@ def open_trace(path: str) -> PackedTrace:
     Format detection is by content, never by extension:
 
     * zip magic (``PK``) — the native :func:`save_trace` npz layout;
+    * NUL bytes in the (decompressed) head — ChampSim's binary
+      64-byte ``input_instr`` records;
     * anything else — a text trace, possibly gzip/xz-compressed
       (magic-sniffed), in ChampSim-style or valgrind-lackey line
       format (first-lines-sniffed).
@@ -129,6 +132,8 @@ def open_trace(path: str) -> PackedTrace:
         return _load_packed_npz(path)
     from repro.trace import importers
 
+    if importers.sniff_binary_champsim(path):
+        return importers.load_champsim_binary(path)
     if importers.sniff_text_format(path) == "lackey":
         return importers.load_lackey(path)
     return importers.load_champsim(path)

@@ -214,7 +214,10 @@ class TestBatchedReplayDifferential:
     @pytest.mark.parametrize("policy", POLICIES)
     def test_batched_matches_fused_and_generic(self, policy):
         trace = pack_trace(build_trace("mcf", scale=0.05))
-        batched_sim = Simulator(experiment_config(), policy)
+        # kernel="batched" pins the rung: under "auto" a host with the
+        # compiled extension would take the native kernel instead.
+        batched_sim = Simulator(experiment_config(), policy,
+                                kernel="batched")
         with mock.patch.object(
             Simulator, "_replay_batched",
             wraps=batched_sim._replay_batched,
@@ -273,7 +276,8 @@ class TestBatchedReplayDifferential:
         assert not observed_sim.fused_replay
         assert not observed_sim.batched_replay
         assert observed_sim.replay_kernel == "generic"
-        batched_sim = Simulator(experiment_config(), "lru")
+        batched_sim = Simulator(experiment_config(), "lru",
+                                kernel="batched")
         batched = batched_sim.run(trace)
         assert batched_sim.batched_replay
         assert observed.to_dict() == batched.to_dict()
@@ -299,7 +303,7 @@ class TestBatchedReplayDifferential:
         # the contract that keeps `kernel` out of memo/store keys.
         trace = pack_trace(build_trace("art", scale=0.05))
         results = {}
-        for kernel in ("auto", "batched", "fused", "generic"):
+        for kernel in ("auto", "native", "batched", "fused", "generic"):
             sim = Simulator(experiment_config(), "sbar", kernel=kernel)
             results[kernel] = sim.run(trace).to_dict()
         assert all(r == results["auto"] for r in results.values())

@@ -1,0 +1,188 @@
+"""Tests pinning down the compiled native replay kernel (PR 9).
+
+The ``native`` rung is a hand-written C extension running the fused
+loop body over the packed-trace columns.  Three contracts matter:
+
+* **bit-exactness** — for every admitted policy family the native
+  kernel produces :class:`SimResult` payloads *and* dueling-controller
+  end states identical to the batched, fused, and generic kernels;
+* **graceful degradation** — a host without the extension (no compiler
+  at install time) resolves a ``native`` request to ``batched`` with
+  identical results, never an error;
+* **cache neutrality** — the kernel never enters memo or store keys, a
+  result computed under one kernel satisfies a request under any
+  other, and ``SimResult.meta["kernel_used"]`` (which records the
+  producing rung) never leaks into digests or persisted payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import RunOptions, native
+from repro.sim.runner import cache_stats, clear_cache, run_policy
+from repro.sim.simulator import Simulator
+from repro.workloads import build_workload, experiment_config
+
+from tests.test_fastpath import controller_fingerprint
+
+#: Whether this host built the optional C extension.  The differential
+#: battery still runs without it (a native request resolves one rung
+#: down), so the full suite passes on compiler-less hosts.
+HAVE_NATIVE = native.load_extension() is not None
+
+#: The rung a ``native`` request actually resolves to on this host.
+NATIVE_RUNG = "native" if HAVE_NATIVE else "batched"
+
+POLICIES = (
+    "lru", "lin(4)", "sbar", "cbs-global", "cbs-local", "ehc", "awrp",
+)
+
+
+class TestNativeDifferential:
+    """Four-way kernel equivalence for every admitted policy family."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("workload", ("mcf", "art"))
+    def test_native_matches_batched_fused_generic(self, workload, policy):
+        trace = build_workload(workload, scale=0.05)
+        runs = {}
+        sims = {}
+        for kernel in ("native", "batched", "fused", "generic"):
+            sim = Simulator(experiment_config(), policy, kernel=kernel)
+            runs[kernel] = sim.run(trace).to_dict()
+            sims[kernel] = sim
+            expected = NATIVE_RUNG if kernel == "native" else kernel
+            assert sim.replay_kernel == expected, (policy, kernel)
+        for kernel in ("batched", "fused", "generic"):
+            assert runs["native"] == runs[kernel], (policy, kernel)
+        if sims["native"].controller is not None:
+            reference = controller_fingerprint(sims["native"].controller)
+            for kernel in ("batched", "fused", "generic"):
+                assert reference == controller_fingerprint(
+                    sims[kernel].controller
+                ), (policy, kernel)
+
+    @pytest.mark.skipif(not HAVE_NATIVE, reason="extension not built")
+    def test_native_really_runs(self):
+        # Guard against the battery silently degenerating into
+        # batched-vs-batched: on a host with the extension, auto and
+        # native requests must actually resolve to the C kernel.
+        for kernel in ("auto", "native"):
+            sim = Simulator(experiment_config(), "sbar", kernel=kernel)
+            sim.run(build_workload("mcf", scale=0.05))
+            assert sim.replay_kernel == "native", kernel
+            assert sim.native_replay, kernel
+            assert not sim.batched_replay, kernel
+
+
+class TestLadderDegradation:
+    def test_missing_extension_falls_back_to_batched(self, monkeypatch):
+        trace = build_workload("mcf", scale=0.05)
+        reference = Simulator(
+            experiment_config(), "sbar", kernel="native"
+        ).run(trace)
+        # Simulate a host whose optional build_ext found no compiler:
+        # the import fails, load_extension caches None, and a native
+        # request must resolve to batched with identical results.
+        monkeypatch.setattr(native, "_extension", None)
+        sim = Simulator(experiment_config(), "sbar", kernel="native")
+        degraded = sim.run(trace)
+        assert sim.replay_kernel == "batched"
+        assert sim.batched_replay
+        assert not sim.native_replay
+        assert degraded.to_dict() == reference.to_dict()
+
+    def test_unsupported_policy_falls_back(self):
+        # dip is not an admitted native policy family; the request is
+        # a ceiling, so the run degrades (batched admits it) rather
+        # than erroring, and results match the generic loop.
+        trace = build_workload("mcf", scale=0.05)
+        sim = Simulator(experiment_config(), "dip", kernel="native")
+        result = sim.run(trace)
+        assert sim.replay_kernel != "native"
+        generic = Simulator(
+            experiment_config(), "dip", kernel="generic"
+        ).run(trace)
+        assert result.to_dict() == generic.to_dict()
+
+    def test_list_trace_never_native(self):
+        # The native kernel consumes packed columns; an Access list
+        # drops below batched too, landing on fused.
+        sim = Simulator(experiment_config(), "lru", kernel="native")
+        sim.run(build_workload("mcf", scale=0.05).to_accesses())
+        assert sim.replay_kernel == "fused"
+        assert not sim.native_replay
+
+
+class TestKernelUsedMeta:
+    def test_meta_records_resolved_rung(self):
+        trace = build_workload("art", scale=0.05)
+        for kernel in ("native", "batched", "fused", "generic"):
+            sim = Simulator(experiment_config(), "lru", kernel=kernel)
+            result = sim.run(trace)
+            expected = NATIVE_RUNG if kernel == "native" else kernel
+            assert result.meta == {"kernel_used": expected}, kernel
+
+    def test_meta_excluded_from_digest_and_dict(self):
+        trace = build_workload("art", scale=0.05)
+        native_run = Simulator(
+            experiment_config(), "lru", kernel="native"
+        ).run(trace)
+        generic_run = Simulator(
+            experiment_config(), "lru", kernel="generic"
+        ).run(trace)
+        assert native_run.meta != generic_run.meta or not HAVE_NATIVE
+        assert "meta" not in native_run.to_dict()
+        assert "kernel_used" not in native_run.to_dict()
+        assert native_run.to_dict() == generic_run.to_dict()
+        from repro.sim.store import result_digest
+
+        assert (result_digest(native_run.to_dict())
+                == result_digest(generic_run.to_dict()))
+
+
+class TestKernelNeverKeysCaches:
+    def test_memo_shared_across_kernels(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_STORE", "1")
+        clear_cache()
+        first = run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="generic"),
+        )
+        assert first.meta == {"kernel_used": "generic"}
+        before = cache_stats()["memo_hits"]
+        second = run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="native"),
+        )
+        # One memo entry serves both requests: the native request is a
+        # hit on the generic run's result, object-identically.
+        assert second is first
+        assert cache_stats()["memo_hits"] == before + 1
+        clear_cache()
+
+    def test_store_shared_across_kernels(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_NO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        first = run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="generic"),
+        )
+        # Drop the in-process memo so the second request must go to
+        # the persistent store; a kernel-keyed store would miss here.
+        clear_cache()
+        from repro.sim.store import default_store
+
+        before = default_store().counters()["store_hits"]
+        second = run_policy(
+            "mcf", "lru", scale=0.05,
+            options=RunOptions(kernel="native"),
+        )
+        assert default_store().counters()["store_hits"] == before + 1
+        assert second.to_dict() == first.to_dict()
+        # Provenance never persists: a store-loaded result carries no
+        # meta, proving kernel_used stays out of the payload on disk.
+        assert second.meta is None
+        clear_cache()

@@ -21,7 +21,14 @@ from repro.sim.runner import clear_cache, packed_trace
 from repro.sim.store import store_key
 from repro.sim import RunOptions
 from repro.sim.suite import EXPORT_FIELDS, run_suite
-from repro.trace.importers import load_champsim, load_lackey, sniff_text_format
+from repro.trace.importers import (
+    CHAMPSIM_RECORD,
+    load_champsim,
+    load_champsim_binary,
+    load_lackey,
+    sniff_binary_champsim,
+    sniff_text_format,
+)
 from repro.trace.packed import PackedTrace
 from repro.trace.record import LOAD, STORE, IFETCH
 from repro.trace.trace_io import open_trace, save_trace
@@ -40,6 +47,9 @@ from repro.workloads import (
 from repro.workloads.registry import SurrogateWorkload, Workload
 
 FIXTURE = Path(__file__).parent / "fixtures" / "mix4k.champsim.gz"
+BINARY_FIXTURE = (
+    Path(__file__).parent / "fixtures" / "mix256.champsim.trace"
+)
 SCALE = 0.05
 
 
@@ -256,6 +266,85 @@ class TestImporters:
 
     def test_missing_file_fingerprint_is_sentinel(self):
         assert workload_fingerprint("champsim:/no/such/file") == "missing"
+
+
+class TestBinaryChampsim:
+    """ChampSim's native 64-byte ``input_instr`` record importer."""
+
+    @staticmethod
+    def _record(ip, dest=(), src=()):
+        dest = tuple(dest) + (0,) * (2 - len(dest))
+        src = tuple(src) + (0,) * (4 - len(src))
+        return CHAMPSIM_RECORD.pack(ip, 0, 0, 1, 2, 3, 4, 5, 6,
+                                    *dest, *src)
+
+    def _write(self, path, compress=None):
+        # Three instructions with no memory operands, then a 2-load
+        # instruction, a pure gap instruction, and a store instruction.
+        data = b"".join([
+            self._record(0x400000),
+            self._record(0x400004),
+            self._record(0x400008),
+            self._record(0x40000C, src=(0x1000, 0x2000)),
+            self._record(0x400010),
+            self._record(0x400014, dest=(0x3000,)),
+        ])
+        if compress == "gz":
+            path.write_bytes(gzip.compress(data, mtime=0))
+        elif compress == "xz":
+            path.write_bytes(lzma.compress(data))
+        else:
+            path.write_bytes(data)
+        return path
+
+    @pytest.mark.parametrize("compress", [None, "gz", "xz"])
+    def test_records_decode_with_instruction_gaps(self, tmp_path, compress):
+        path = self._write(tmp_path / "t.trace", compress)
+        assert sniff_binary_champsim(path)
+        trace = load_champsim_binary(path)
+        assert [a.address for a in trace] == [0x1000, 0x2000, 0x3000]
+        assert [a.kind for a in trace] == [LOAD, LOAD, STORE]
+        # Gap = preceding memory-less instructions, carried by the
+        # first access of the next memory instruction only.
+        assert [a.gap for a in trace] == [3, 0, 1]
+
+    def test_text_front_doors_sniff_binary(self, tmp_path):
+        path = self._write(tmp_path / "t.trace")
+        binary = load_champsim_binary(path)
+        # Both the champsim: spec loader and the open_trace sniffing
+        # front door must route binary content to the binary decoder.
+        assert (load_champsim(path).content_digest()
+                == binary.content_digest())
+        assert (open_trace(path).content_digest()
+                == binary.content_digest())
+
+    def test_text_traces_are_not_misdetected(self, tmp_path):
+        text = tmp_path / "t.champsim"
+        text.write_text("0x1000 R 8\n0x2000 W\n")
+        assert not sniff_binary_champsim(text)
+        assert len(load_champsim(text)) == 2
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_bytes(self._record(0x400000, src=(0x1000,))[:-8] * 2)
+        with pytest.raises(ValueError, match="truncated"):
+            load_champsim_binary(path)
+
+    def test_limit_truncates(self, tmp_path):
+        path = self._write(tmp_path / "t.trace")
+        assert len(load_champsim_binary(path, limit=2)) == 2
+        assert len(load_champsim(path, limit=2)) == 2
+
+    def test_committed_fixture_loads_and_simulates(self):
+        trace = build_workload("champsim:%s" % BINARY_FIXTURE)
+        assert len(trace) == 132
+        assert trace.content_digest() == (
+            open_trace(str(BINARY_FIXTURE)).content_digest()
+        )
+        from repro.sim.simulator import Simulator
+
+        result = Simulator(experiment_config(), "lru").run(trace)
+        assert result.l2_misses > 0
 
 
 class TestCDFGenerator:
