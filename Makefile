@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install native test bench bench-quick bench-pytest suite oracle chaos workload-zoo experiments experiments-fast examples lint clean
+.PHONY: install native test bench bench-quick bench-pytest suite oracle chaos workload-zoo serve submit-demo experiments experiments-fast examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -61,6 +61,17 @@ workload-zoo:
 		--workload "interleave(mcf,art)" --policy sbar --scale 0.1
 	PYTHONPATH=src $(PYTHON) -m repro.workloads \
 		--digest "interleave(mcf,art)" --scale 0.1
+
+# Run the job service daemon on the default port (Ctrl-C to stop).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve --workers 2
+
+# Self-checking service end-to-end demo (also run by CI): throwaway
+# store, seeded chaos delays, two concurrent tenants submitting the
+# same grid — shared cells must execute once and both tenants must see
+# digests bit-identical to a serial baseline.
+submit-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.service demo --scale 0.25
 
 # Full-scale regeneration of every table and figure (~10 minutes).
 experiments:

@@ -1,0 +1,71 @@
+"""repro.api — the blessed public surface, in one import.
+
+The package grew across many layers (simulator, parallel engine,
+suite driver, analysis, job service), each with its own module path.
+This facade re-exports the stable, supported names so user code needs
+exactly one import and never reaches into internals::
+
+    from repro.api import RunOptions, run_suite, submit
+
+    # local execution (serial or multiprocess):
+    suite = run_suite(policies=("lru", "lin(4)"),
+                      options=RunOptions(workers=4))
+
+    # or hand the same grid to a running job service:
+    job = submit(["mcf", "art"], ["lru", "lin(4)"], port=7663)
+
+What belongs here: entry points (:func:`run_policy`,
+:func:`run_grid`, :func:`run_suite`, :func:`submit`), their options
+object (:class:`RunOptions`), the extension registries
+(:func:`register_policy`, :func:`register_workload`), the spec parsers
+(:func:`parse_policy_spec`, :func:`parse_workload_spec`), and the
+offline oracle (:func:`oracle_report`).  Everything else — kernels,
+stores, schedulers — is implementation: importable, but not part of
+the compatibility surface this module promises.
+
+Names resolve lazily so ``import repro.api`` stays cheap even though
+the surface spans heavy modules.
+"""
+
+from __future__ import annotations
+
+#: name -> (module, attribute).  The compatibility surface; additions
+#: are fine, removals/renames need a deprecation cycle.
+_SURFACE = {
+    # execute
+    "run_policy": ("repro.sim.runner", "run_policy"),
+    "run_grid": ("repro.sim.parallel", "run_grid"),
+    "run_suite": ("repro.sim.suite", "run_suite"),
+    "RunOptions": ("repro.sim.options", "RunOptions"),
+    # extend
+    "register_policy": ("repro.cache.replacement", "register_policy"),
+    "register_workload": ("repro.workloads", "register_workload"),
+    # parse specs
+    "parse_policy_spec": ("repro.cache.replacement", "parse_policy_spec"),
+    "parse_workload_spec": ("repro.workloads", "parse_workload_spec"),
+    # analyze
+    "oracle_report": ("repro.analysis.oracle", "oracle_report"),
+    # the job service client
+    "submit": ("repro.service.client", "submit"),
+}
+
+__all__ = sorted(_SURFACE)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _SURFACE[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r (the public surface is: %s)"
+            % (__name__, name, ", ".join(__all__))
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SURFACE))

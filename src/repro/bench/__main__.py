@@ -86,6 +86,7 @@ def _check_mode(report_path: str, cell: str) -> int:
 
 
 def main(argv=None) -> int:
+    common_cli.umbrella_pointer("bench")
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Measure simulation-kernel performance and write a "

@@ -1,0 +1,62 @@
+"""repro.service — the distributed simulation job service.
+
+One long-lived server (``python -m repro serve``) executes grid
+submissions from many tenants over a shared, digest-sharded result
+store; thin clients (``python -m repro submit``,
+:func:`repro.service.submit`) talk to it over newline-delimited JSON.
+
+The package splits along the wire:
+
+* :mod:`repro.service.protocol` — message shapes, both sides import it.
+* :mod:`repro.service.jobs` — job/cell state and tenant quotas.
+* :mod:`repro.service.server` — the asyncio service itself.
+* :mod:`repro.service.client` — the blocking-socket client.
+
+Heavy imports are deferred so ``import repro.service`` stays cheap;
+the names below lazy-load on first touch.
+"""
+
+from __future__ import annotations
+
+from repro.service.protocol import DEFAULT_PORT, PROTOCOL_SCHEMA
+
+_LAZY = {
+    "JobService": ("repro.service.server", "JobService"),
+    "ServiceConfig": ("repro.service.server", "ServiceConfig"),
+    "ServiceHandle": ("repro.service.server", "ServiceHandle"),
+    "serve_in_thread": ("repro.service.server", "serve_in_thread"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "ServiceError": ("repro.service.client", "ServiceError"),
+    "submit": ("repro.service.client", "submit"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_SCHEMA",
+    "JobService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceClient",
+    "ServiceError",
+    "serve_in_thread",
+    "submit",
+]

@@ -1,0 +1,906 @@
+"""The asyncio job service: many tenants, one simulation engine.
+
+``python -m repro serve`` runs a long-lived :class:`JobService` that
+accepts grid submissions (workload-spec x policy-spec matrices) over
+the newline-delimited JSON protocol (:mod:`repro.service.protocol`),
+expands them to cells, and schedules the cells across a pool of worker
+slots.  The pieces, and where each came from:
+
+* **Dedup by store key** — a cell is content-addressed by the same
+  persistent-store key the engine uses
+  (:func:`repro.sim.parallel.task_store_key`), so two tenants
+  submitting overlapping grids share one execution per overlapping
+  cell: the second submission attaches to the in-flight execution (or
+  hits the store if it already finished).  Shared work runs exactly
+  once; everyone gets bit-identical digests.
+* **Worker slots** — each slot wraps one single-worker executor
+  (a separate local process; remote hosts can back a slot later by
+  speaking the same protocol).  Scheduling is not round-robin:
+  :class:`repro.sim.resilience.WorkerHealth` ranks slots by recency +
+  observed health (AWRP-flavored), trips a per-worker circuit after
+  consecutive failures, and lets tripped slots back in as half-open
+  probes — PR 5's pool-level breaker, re-targeted at workers.
+* **Quotas and backpressure** — :class:`repro.service.jobs.TenantQuotas`
+  bounds the global in-flight queue and each tenant's share; refused
+  submissions get a 429-style response with ``retry_after_s``.
+* **Journal-backed recovery** — every job appends to a run journal
+  (``job-<id>.jsonl`` next to the result store); ``serve --resume``
+  replays incomplete jobs at startup, serving journal-completed cells
+  from the store and re-executing only the missing ones.
+* **Progress streaming** — ``watch`` clients receive one event line
+  per cell transition, ending with ``job_done``.
+
+Results themselves live in the digest-prefix-sharded result store —
+the service hands out digests and (on request) re-serves payloads from
+the store, so restarting the service never loses a result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.service import protocol
+from repro.service.jobs import (
+    CELL_CANCELLED,
+    CELL_DONE,
+    CELL_FAILED,
+    CELL_PENDING,
+    CELL_RUNNING,
+    SOURCE_DEDUP,
+    SOURCE_EXECUTED,
+    SOURCE_RESUME,
+    SOURCE_STORE,
+    CellState,
+    Job,
+    TenantQuotas,
+    expand_cells,
+    new_job_id,
+)
+from repro.sim.options import RunOptions
+from repro.sim.parallel import Task, execute_cell, task_store_key
+from repro.sim.resilience import (
+    RunJournal,
+    WorkerHealth,
+    backoff_delay,
+    journal_root,
+    load_journal,
+)
+from repro.sim.runner import trace_scale
+from repro.sim.store import default_store, result_digest
+
+#: Client-suppliable RunOptions fields.  Everything else (cache policy,
+#: journaling, pool shape) is the server's call; these four only change
+#: how hard one submission tries, and none of them can change result
+#: bits (kernels are bit-identical by contract; chaos is for tests).
+CLIENT_OPTION_FIELDS = ("kernel", "max_retries", "deadline", "chaos")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``python -m repro serve`` can configure."""
+
+    host: str = "127.0.0.1"
+    port: int = protocol.DEFAULT_PORT
+    #: Worker slots (one process each). 0 means CPU count.
+    workers: int = 2
+    #: Thread-backed slots instead of process-backed (tests/demos:
+    #: no fork cost, shares the parent's store and memo).
+    inline: bool = False
+    #: Global in-flight cell bound (backpressure); 0 disables.
+    queue_limit: int = 1024
+    #: Per-tenant in-flight cell quota; 0 disables.
+    tenant_quota: int = 256
+    #: Execution knobs applied to every cell (clients may override the
+    #: CLIENT_OPTION_FIELDS subset per submission).
+    options: RunOptions = field(default_factory=RunOptions)
+    #: Consecutive failures before a worker slot's circuit trips, and
+    #: the dispatch-tick cooldown before it is probed again.
+    trip_threshold: int = 3
+    cooldown: int = 8
+    #: Replay incomplete job journals at startup.
+    resume: bool = False
+    #: Honor the ``shutdown`` op (leave on for tests/demos; a shared
+    #: deployment would turn it off).
+    allow_shutdown: bool = True
+
+
+class _WorkerSlot:
+    """One schedulable execution slot backed by a 1-worker executor."""
+
+    def __init__(self, name: str, inline: bool) -> None:
+        self.name = name
+        self.inline = inline
+        self.busy = False
+        self.pool = self._make_pool()
+
+    def _make_pool(self):
+        if self.inline:
+            return ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=self.name
+            )
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        return ProcessPoolExecutor(max_workers=1, mp_context=context)
+
+    def rebuild(self) -> None:
+        """Replace a broken executor (worker died hard)."""
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self.pool = self._make_pool()
+
+    def close(self) -> None:
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+class _Execution:
+    """One in-flight cell, shared by every job that wants it."""
+
+    def __init__(self, key: str, task: Task, options: RunOptions) -> None:
+        self.key = key
+        self.task = task
+        self.options = options
+        self.subscribers: List[Tuple[Job, str]] = []
+        self.cancelled = False
+        self.attempts = 0
+
+
+def list_service_jobs():
+    """Journal states of every service job on disk, oldest first."""
+    root = journal_root()
+    if root is None or not root.is_dir():
+        return []
+    states = []
+    for path in sorted(root.glob("job-*.jsonl")):
+        try:
+            states.append(load_journal(path.stem))
+        except (OSError, ValueError):
+            continue
+    return states
+
+
+class JobService:
+    """The server.  Create, ``await start()``, then ``serve_forever``.
+
+    All state mutation happens on the event loop (connection handlers
+    and execution tasks are coroutines), so submission admission,
+    dedup, and quota accounting are race-free by construction.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.jobs: Dict[str, Job] = {}
+        self.quotas = TenantQuotas(
+            queue_limit=self.config.queue_limit,
+            tenant_quota=self.config.tenant_quota,
+        )
+        self.health = WorkerHealth(
+            trip_threshold=self.config.trip_threshold,
+            cooldown=self.config.cooldown,
+        )
+        workers = self.config.workers or (multiprocessing.cpu_count() or 1)
+        self._slots = [
+            _WorkerSlot("worker-%d" % index, self.config.inline)
+            for index in range(workers)
+        ]
+        self._slot_cond: Optional[asyncio.Condition] = None
+        self._executions: Dict[str, _Execution] = {}
+        self._execution_tasks: List[asyncio.Task] = []
+        self._watchers: Dict[str, List[asyncio.Queue]] = {}
+        self._journals: Dict[str, RunJournal] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = False
+        self.started_at = time.time()
+        self.counters: Dict[str, int] = {
+            "submissions": 0,
+            "submissions_rejected": 0,
+            "jobs_completed": 0,
+            "jobs_cancelled": 0,
+            "jobs_resumed": 0,
+            "cells_total": 0,
+            "cells_executed": 0,
+            "cells_store_hits": 0,
+            "cells_deduped": 0,
+            "cells_resumed": 0,
+            "cell_failures": 0,
+            "cell_retries": 0,
+            "worker_trips": 0,
+            "worker_rebuilds": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._slot_cond = asyncio.Condition()
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        if self.config.resume:
+            self._resume_jobs()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "service not started"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drop executions, close.
+
+        Idempotent — the ``shutdown`` op and an explicit ``stop()``
+        (tests do both) must not double-close or double-count.
+        """
+        if getattr(self, "_stopped", False):
+            return
+        self._stopped = True
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        for task in self._execution_tasks:
+            task.cancel()
+        if self._execution_tasks:
+            await asyncio.gather(
+                *self._execution_tasks, return_exceptions=True
+            )
+        for watchers in self._watchers.values():
+            for queue in watchers:
+                queue.put_nowait(None)
+        for slot in self._slots:
+            slot.close()
+        for journal in self._journals.values():
+            journal.close()
+        self._record_service_metrics()
+
+    def _record_service_metrics(self) -> None:
+        """Fold service counters into the obs session (when enabled)."""
+        if not obs.metrics_enabled():
+            return
+        registry = obs.MetricsRegistry()
+        for name, help_text in (
+            ("submissions", "grid submissions accepted"),
+            ("submissions_rejected", "submissions refused by quota "
+             "or backpressure"),
+            ("jobs_completed", "jobs that reached a terminal state"),
+            ("cells_executed", "cells simulated on a worker slot"),
+            ("cells_store_hits", "cells served from the result store"),
+            ("cells_deduped", "cells attached to an in-flight "
+             "execution"),
+            ("cell_retries", "cell attempts beyond the first"),
+            ("worker_trips", "worker circuit-breaker trips"),
+            ("worker_rebuilds", "worker executors rebuilt after hard "
+             "failures"),
+        ):
+            registry.counter(
+                "service_%s_total" % name, help_text
+            ).inc(self.counters[name])
+        obs.record_session(registry.snapshot())
+
+    # -- submission ------------------------------------------------------
+
+    def _merge_options(
+        self, wire: Optional[Dict[str, object]]
+    ) -> RunOptions:
+        """Server options with the client's whitelisted overrides."""
+        base = self.config.options
+        if not wire:
+            return base
+        allowed = {
+            key: value for key, value in wire.items()
+            if key in CLIENT_OPTION_FIELDS
+        }
+        if not allowed:
+            return base
+        merged = base.to_wire()
+        merged.update(allowed)
+        return RunOptions.from_wire(merged)
+
+    def submit_job(
+        self,
+        tenant: str,
+        benchmarks,
+        policies,
+        scale: Optional[float] = None,
+        options_wire: Optional[Dict[str, object]] = None,
+        job_id: Optional[str] = None,
+        force: bool = False,
+        resume_keys=frozenset(),
+    ):
+        """Admit one submission; returns ``(job, None)`` or
+        ``(None, Rejection)``.
+
+        This is the whole tentpole in one method: quota admission,
+        matrix expansion, store probe, in-flight dedup, and scheduling.
+        Runs synchronously on the event loop so concurrent submitters
+        interleave at message granularity, never mid-admission.
+        """
+        resolved_scale = scale if scale is not None else trace_scale()
+        cells = expand_cells(benchmarks, policies, resolved_scale)
+        rejection = self.quotas.try_admit(tenant, len(cells), force=force)
+        if rejection is not None:
+            self.counters["submissions_rejected"] += 1
+            return None, rejection
+        self.counters["submissions"] += 1
+        self.counters["cells_total"] += len(cells)
+
+        options = self._merge_options(options_wire)
+        job = Job(
+            job_id=job_id or new_job_id(),
+            tenant=tenant,
+            benchmarks=list(benchmarks),
+            policies=list(policies),
+            scale=resolved_scale,
+            options_wire=dict(options_wire or {}),
+        )
+        self.jobs[job.job_id] = job
+        if options.journal:
+            journal = RunJournal.create(
+                run_id=job.job_id,
+                meta={
+                    "service_job": True,
+                    "tenant": tenant,
+                    "benchmarks": list(benchmarks),
+                    "policies": list(policies),
+                    "scale": resolved_scale,
+                    "options": dict(options_wire or {}),
+                },
+            )
+            if journal is not None:
+                self._journals[job.job_id] = journal
+
+        store = default_store() if options.use_cache else None
+        for label, task in cells:
+            key = task_store_key(task)
+            cell = CellState(task=task, key=key)
+            job.cells[label] = cell
+            cached = store.load(key) if store is not None else None
+            if cached is not None:
+                source = (
+                    SOURCE_RESUME if key in resume_keys else SOURCE_STORE
+                )
+                self.counters[
+                    "cells_resumed" if source == SOURCE_RESUME
+                    else "cells_store_hits"
+                ] += 1
+                self._complete_cell(
+                    job, cell, result_digest(cached.to_dict()),
+                    source=source, wall=0.0, worker=None, attempts=0,
+                )
+                continue
+            execution = self._executions.get(key)
+            if execution is not None:
+                self.counters["cells_deduped"] += 1
+                cell.source = SOURCE_DEDUP
+                cell.status = (
+                    CELL_RUNNING if execution.attempts else CELL_PENDING
+                )
+                execution.subscribers.append((job, label))
+                continue
+            execution = _Execution(key, task, options)
+            execution.subscribers.append((job, label))
+            self._executions[key] = execution
+            runner = asyncio.get_running_loop().create_task(
+                self._run_execution(execution)
+            )
+            self._execution_tasks.append(runner)
+            runner.add_done_callback(self._execution_tasks.remove)
+        self._finish_job_if_done(job)
+        return job, None
+
+    # -- execution -------------------------------------------------------
+
+    async def _acquire_slot(self) -> _WorkerSlot:
+        """Best free slot per the health ranking; waits when all busy."""
+        assert self._slot_cond is not None
+        async with self._slot_cond:
+            while True:
+                free = [slot for slot in self._slots if not slot.busy]
+                if free:
+                    name = self.health.pick(
+                        [slot.name for slot in free]
+                    )
+                    slot = next(
+                        slot for slot in free if slot.name == name
+                    )
+                    slot.busy = True
+                    return slot
+                await self._slot_cond.wait()
+
+    async def _release_slot(self, slot: _WorkerSlot) -> None:
+        assert self._slot_cond is not None
+        async with self._slot_cond:
+            slot.busy = False
+            self._slot_cond.notify_all()
+
+    async def _run_execution(self, execution: _Execution) -> None:
+        """Drive one cell to a terminal state with retry + backoff."""
+        options = execution.options
+        loop = asyncio.get_running_loop()
+        while True:
+            if execution.cancelled:
+                return
+            slot = await self._acquire_slot()
+            execution.attempts += 1
+            attempt = execution.attempts
+            self.health.record_dispatch(slot.name)
+            self._mark_running(execution, slot.name, attempt)
+            # SIGALRM deadlines need the worker's main thread; thread
+            # slots run cells off-main, so inline mode drops them.
+            deadline = None if slot.inline else options.deadline
+            trips_before = self.health.trips
+            try:
+                status, payload, wall, pid, tb = await loop.run_in_executor(
+                    slot.pool,
+                    execute_cell,
+                    (execution.task, options.use_cache, deadline,
+                     options.chaos, attempt, not slot.inline,
+                     options.kernel),
+                )
+            except asyncio.CancelledError:
+                await self._release_slot(slot)
+                raise
+            except Exception as exc:
+                # The slot's process died hard (BrokenProcessPool et
+                # al.): rebuild the executor and treat it as a failed
+                # attempt charged to this worker.
+                status = "error"
+                payload = "%s: %s" % (type(exc).__name__, exc)
+                wall, pid, tb = 0.0, None, None
+                slot.rebuild()
+                self.counters["worker_rebuilds"] += 1
+            await self._release_slot(slot)
+
+            if status == "ok":
+                self.health.record_success(slot.name)
+                self._executions.pop(execution.key, None)
+                digest = result_digest(payload.to_dict())
+                self.counters["cells_executed"] += 1
+                for job, label in execution.subscribers:
+                    self._complete_cell(
+                        job, job.cells[label], digest,
+                        source=job.cells[label].source or SOURCE_EXECUTED,
+                        wall=wall, worker=slot.name, attempts=attempt,
+                    )
+                    self._finish_job_if_done(job)
+                return
+
+            self.health.record_failure(slot.name)
+            self.counters["worker_trips"] += (
+                self.health.trips - trips_before
+            )
+            if attempt > options.max_retries:
+                self._executions.pop(execution.key, None)
+                self.counters["cell_failures"] += 1
+                for job, label in execution.subscribers:
+                    self._fail_cell(
+                        job, job.cells[label], payload, tb, attempt
+                    )
+                    self._finish_job_if_done(job)
+                return
+            self.counters["cell_retries"] += 1
+            delay = backoff_delay(
+                options.backoff_base, options.backoff_max, attempt,
+                execution.task.label, options.retry_seed,
+            )
+            if delay > 0:
+                await asyncio.sleep(delay)
+
+    # -- cell/job state transitions --------------------------------------
+
+    def _mark_running(
+        self, execution: _Execution, worker: str, attempt: int
+    ) -> None:
+        for job, label in execution.subscribers:
+            cell = job.cells[label]
+            cell.status = CELL_RUNNING
+            cell.worker = worker
+            cell.attempts = attempt
+            journal = self._journals.get(job.job_id)
+            if journal is not None:
+                journal.task_started(cell.task, attempt)
+            self._emit(job, protocol.event(
+                "cell_running", job_id=job.job_id, cell=label,
+                worker=worker, attempt=attempt,
+            ))
+
+    def _complete_cell(
+        self, job: Job, cell: CellState, digest: str, source: str,
+        wall: float, worker: Optional[str], attempts: int,
+    ) -> None:
+        if cell.terminal:
+            return
+        cell.status = CELL_DONE
+        cell.source = source
+        cell.digest = digest
+        cell.wall_time = wall
+        cell.worker = worker
+        cell.attempts = attempts
+        self.quotas.release(job.tenant)
+        journal = self._journals.get(job.job_id)
+        if journal is not None:
+            journal.task_finished(
+                cell.task, cell.key,
+                cache_hit=source in (SOURCE_STORE, SOURCE_RESUME),
+                resumed=source == SOURCE_RESUME,
+                wall=wall, worker=None, attempts=attempts,
+            )
+        self._emit(job, protocol.event(
+            "cell_finished", job_id=job.job_id, cell=cell.label,
+            digest=digest, source=source, wall_s=round(wall, 4),
+            worker=worker,
+        ))
+
+    def _fail_cell(
+        self, job: Job, cell: CellState, error: str,
+        traceback_text: Optional[str], attempts: int,
+    ) -> None:
+        if cell.terminal:
+            return
+        cell.status = CELL_FAILED
+        cell.error = error
+        cell.traceback = traceback_text
+        cell.attempts = attempts
+        self.quotas.release(job.tenant)
+        journal = self._journals.get(job.job_id)
+        if journal is not None:
+            journal.task_failed(
+                cell.task, error, traceback_text, attempts
+            )
+        self._emit(job, protocol.event(
+            "cell_failed", job_id=job.job_id, cell=cell.label,
+            error=error, attempts=attempts,
+        ))
+
+    def _finish_job_if_done(self, job: Job) -> None:
+        if not job.done:
+            return
+        journal = self._journals.pop(job.job_id, None)
+        if journal is not None:
+            counts = job.counts()
+            journal.run_finished(
+                completed=counts[CELL_DONE], failed=counts[CELL_FAILED],
+                interrupted=job.cancelled,
+            )
+        if job.cancelled:
+            self.counters["jobs_cancelled"] += 1
+        else:
+            self.counters["jobs_completed"] += 1
+        self._emit(job, protocol.event(
+            "job_done", job_id=job.job_id, status=job.status,
+            digest=job.digest(), counts=job.counts(),
+        ))
+
+    def cancel_job(self, job: Job) -> None:
+        """Cancel every non-terminal cell this job alone is waiting on.
+
+        Cells shared with other jobs keep running (their other
+        subscribers still want them); this job just stops listening.
+        """
+        job.cancelled = True
+        for label, cell in job.cells.items():
+            if cell.terminal:
+                continue
+            execution = self._executions.get(cell.key)
+            if execution is not None:
+                execution.subscribers = [
+                    (subscriber, sub_label)
+                    for subscriber, sub_label in execution.subscribers
+                    if subscriber is not job
+                ]
+                if not execution.subscribers:
+                    execution.cancelled = True
+                    self._executions.pop(cell.key, None)
+            cell.status = CELL_CANCELLED
+            self.quotas.release(job.tenant)
+            self._emit(job, protocol.event(
+                "cell_cancelled", job_id=job.job_id, cell=label,
+            ))
+        self._finish_job_if_done(job)
+
+    # -- resume ----------------------------------------------------------
+
+    def _resume_jobs(self) -> None:
+        """Replay incomplete job journals found next to the store."""
+        for state in list_service_jobs():
+            if state.finished or not state.meta.get("service_job"):
+                continue
+            if state.run_id in self.jobs:
+                continue
+            meta = state.meta
+            job, rejection = self.submit_job(
+                tenant=meta.get("tenant", "anonymous"),
+                benchmarks=meta.get("benchmarks") or [],
+                policies=meta.get("policies") or [],
+                scale=meta.get("scale"),
+                options_wire=meta.get("options"),
+                job_id=state.run_id,
+                force=True,
+                resume_keys=set(state.completed),
+            )
+            if job is not None:
+                self.counters["jobs_resumed"] += 1
+
+    # -- events / watchers ----------------------------------------------
+
+    def _emit(self, job: Job, payload: Dict[str, object]) -> None:
+        for queue in self._watchers.get(job.job_id, ()):  # noqa: B020
+            queue.put_nowait(payload)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        message: Dict[str, object] = {}
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                message = protocol.decode(line)
+                response, stream_job = self._dispatch(message)
+            except protocol.ProtocolError as exc:
+                response, stream_job = (
+                    protocol.error_response(exc.code, str(exc)), None
+                )
+            writer.write(protocol.encode(response))
+            await writer.drain()
+            if stream_job is not None:
+                await self._stream_events(stream_job, writer)
+            if message.get("op") == "shutdown" and response.get("ok"):
+                asyncio.get_running_loop().create_task(self.stop())
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _dispatch(
+        self, message: Dict[str, object]
+    ) -> Tuple[Dict[str, object], Optional[Job]]:
+        """Route one request; returns (response, job-to-stream)."""
+        op = message.get("op")
+        if self._stopping:
+            return protocol.error_response(
+                "shutting-down", "service is shutting down"
+            ), None
+        if op == "ping":
+            return protocol.ok_response(
+                schema=protocol.PROTOCOL_SCHEMA,
+                uptime_s=round(time.time() - self.started_at, 3),
+            ), None
+        if op == "stats":
+            return protocol.ok_response(stats=self.stats()), None
+        if op == "submit":
+            fields = protocol.validate_submit(message)
+            job, rejection = self.submit_job(
+                tenant=fields["tenant"],
+                benchmarks=fields["benchmarks"],
+                policies=fields["policies"],
+                scale=fields["scale"],
+                options_wire=fields["options"],
+                job_id=fields["job_id"],
+            )
+            if rejection is not None:
+                return protocol.error_response(
+                    rejection.code, rejection.message,
+                    retry_after_s=rejection.retry_after_s,
+                ), None
+            counts = job.counts()
+            return protocol.ok_response(
+                job_id=job.job_id,
+                cells=counts["total"],
+                already_done=counts[CELL_DONE],
+            ), None
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                return protocol.error_response(
+                    "bad-request", "shutdown is disabled"
+                ), None
+            return protocol.ok_response(stopping=True), None
+        if op in ("status", "watch", "result", "cancel"):
+            job_id = message.get("job_id")
+            job = self.jobs.get(job_id) if isinstance(job_id, str) else None
+            if job is None:
+                return protocol.error_response(
+                    "unknown-job", "no such job: %r" % (job_id,)
+                ), None
+            if op == "status":
+                return protocol.ok_response(job=job.snapshot()), None
+            if op == "watch":
+                return protocol.ok_response(job=job.snapshot()), job
+            if op == "cancel":
+                self.cancel_job(job)
+                return protocol.ok_response(job=job.snapshot()), None
+            # result
+            payload = protocol.ok_response(job=job.snapshot())
+            if message.get("include_results"):
+                payload["results"] = self._load_results(job)
+            return payload, None
+        return protocol.error_response(
+            "unknown-op", "unknown op: %r" % (op,)
+        ), None
+
+    def _load_results(self, job: Job) -> Dict[str, object]:
+        """Re-serve completed cells' full payloads from the store."""
+        store = default_store()
+        results: Dict[str, object] = {}
+        if store is None:
+            return results
+        for label, cell in job.cells.items():
+            if cell.status != CELL_DONE:
+                continue
+            payload = store.load_payload(cell.key)
+            if payload is not None:
+                results[label] = payload
+        return results
+
+    async def _stream_events(
+        self, job: Job, writer: asyncio.StreamWriter
+    ) -> None:
+        """Forward job events until ``job_done`` (or disconnect)."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(job.job_id, []).append(queue)
+        try:
+            if job.done:
+                writer.write(protocol.encode(protocol.event(
+                    "job_done", job_id=job.job_id, status=job.status,
+                    digest=job.digest(), counts=job.counts(),
+                )))
+                await writer.drain()
+                return
+            while True:
+                payload = await queue.get()
+                if payload is None:  # service shutdown
+                    return
+                writer.write(protocol.encode(payload))
+                await writer.drain()
+                if payload.get("event") == "job_done":
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            watchers = self._watchers.get(job.job_id)
+            if watchers is not None:
+                try:
+                    watchers.remove(queue)
+                except ValueError:
+                    pass
+                if not watchers:
+                    self._watchers.pop(job.job_id, None)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe service report (the ``stats`` op's payload)."""
+        jobs_by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            jobs_by_status[job.status] = (
+                jobs_by_status.get(job.status, 0) + 1
+            )
+        return {
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "counters": dict(self.counters),
+            "quotas": self.quotas.snapshot(),
+            "workers": self.health.snapshot(),
+            "slots": {
+                slot.name: {"busy": slot.busy, "inline": slot.inline}
+                for slot in self._slots
+            },
+            "jobs": {
+                "total": len(self.jobs),
+                "by_status": jobs_by_status,
+                "in_flight_executions": len(self._executions),
+            },
+        }
+
+
+class ServiceHandle:
+    """A service running on a daemon thread (tests, demos, CLIs)."""
+
+    def __init__(self, service: JobService, loop, thread) -> None:
+        self.service = service
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self._call(lambda: self.service.port)
+
+    def _call(self, fn):
+        result: Dict[str, object] = {}
+        done = threading.Event()
+
+        def runner():
+            result["value"] = fn()
+            done.set()
+
+        self.loop.call_soon_threadsafe(runner)
+        done.wait(10)
+        return result.get("value")
+
+    def stop(self, timeout: float = 30.0) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        )
+        try:
+            future.result(timeout)
+        except Exception:
+            pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout)
+
+
+def serve_in_thread(
+    config: Optional[ServiceConfig] = None,
+) -> ServiceHandle:
+    """Start a :class:`JobService` on a background thread.
+
+    Returns once the server socket is bound; ``handle.port`` gives the
+    real port (bind with ``port=0`` for an ephemeral one).
+    """
+    started = threading.Event()
+    holder: Dict[str, object] = {}
+
+    def runner():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        service = JobService(config)
+        loop.run_until_complete(service.start())
+        holder["service"] = service
+        holder["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-service", daemon=True
+    )
+    thread.start()
+    if not started.wait(30):
+        raise RuntimeError("job service failed to start within 30s")
+    return ServiceHandle(holder["service"], holder["loop"], thread)
+
+
+__all__ = [
+    "CLIENT_OPTION_FIELDS",
+    "JobService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "list_service_jobs",
+    "serve_in_thread",
+]

@@ -148,7 +148,7 @@ def corrupt_store(store, fraction: float = 0.5, seed: int = 0) -> List[str]:
     """
     corrupted = []
     index = 0
-    for path in sorted(store.root.glob("*.json")):
+    for path in store.entry_paths():
         roll = int.from_bytes(
             hashlib.sha256(
                 ("%d|corrupt|%s" % (seed, path.name)).encode()
@@ -178,7 +178,9 @@ def corrupt_store(store, fraction: float = 0.5, seed: int = 0) -> List[str]:
 
 def main(argv=None) -> int:
     from repro.cache.replacement.registry import split_specs
+    from repro.sim.common_cli import umbrella_pointer
 
+    umbrella_pointer("chaos")
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.chaos",
         description="Differential chaos test: a fault-free serial suite "

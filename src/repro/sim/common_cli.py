@@ -90,6 +90,45 @@ def execution_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def service_parent() -> argparse.ArgumentParser:
+    """Parent parser with the shared job-service connection flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("service")
+    group.add_argument(
+        "--host", default="127.0.0.1",
+        help="job service host (default: 127.0.0.1)",
+    )
+    group.add_argument(
+        "--port", type=int, default=7663,
+        help="job service TCP port (default: 7663; 0 binds an "
+             "ephemeral port when serving)",
+    )
+    group.add_argument(
+        "--tenant", default="anonymous", metavar="NAME",
+        help="tenant identity for quota accounting (default: anonymous)",
+    )
+    return parent
+
+
+def umbrella_pointer(subcommand: str) -> None:
+    """One stderr line pointing a legacy ``__main__`` at the new CLI.
+
+    The per-module entry points keep working, but ``python -m repro
+    <subcommand>`` is the documented spelling; the umbrella CLI sets
+    ``REPRO_UMBRELLA=1`` before delegating so users who already typed
+    the new spelling never see the pointer.
+    """
+    import os
+
+    if os.environ.get("REPRO_UMBRELLA"):
+        return
+    print(
+        "note: 'python -m repro %s' is the unified CLI spelling "
+        "(python -m repro --help)" % subcommand,
+        file=sys.stderr,
+    )
+
+
 def telemetry_parent() -> argparse.ArgumentParser:
     """Parent parser with the shared telemetry flags."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -193,7 +232,9 @@ def progress_printer(report, done, total) -> None:
 
 __all__ = [
     "execution_parent",
+    "service_parent",
     "telemetry_parent",
+    "umbrella_pointer",
     "options_from_args",
     "apply_telemetry",
     "write_metrics",

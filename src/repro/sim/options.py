@@ -104,6 +104,52 @@ class RunOptions:
         """A copy with ``changes`` applied (dataclasses.replace)."""
         return dataclasses.replace(self, **changes)
 
+    #: Fields that cannot cross a process boundary (callbacks) or that
+    #: are owned by whichever engine executes the options (journaling
+    #: identity is per-run, not part of a submission's intent).
+    _NON_WIRE_FIELDS = ("progress",)
+
+    def to_wire(self) -> dict:
+        """JSON-safe dict form for service submissions and journals.
+
+        Everything except the ``progress`` callback round-trips;
+        ``chaos`` serializes through
+        :meth:`repro.sim.chaos.ChaosConfig.to_dict`.  The inverse is
+        :meth:`from_wire`.
+        """
+        payload = {}
+        for field in dataclasses.fields(self):
+            if field.name in self._NON_WIRE_FIELDS:
+                continue
+            payload[field.name] = getattr(self, field.name)
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos.to_dict()
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Optional[dict]) -> "RunOptions":
+        """Rebuild options from :meth:`to_wire` output.
+
+        Unknown keys are ignored (a newer client may send fields an
+        older server does not know), and a ``chaos`` dict is revived
+        into a :class:`~repro.sim.chaos.ChaosConfig`.
+        """
+        if not payload:
+            return cls()
+        known = {
+            field.name for field in dataclasses.fields(cls)
+            if field.name not in cls._NON_WIRE_FIELDS
+        }
+        fields = {
+            key: value for key, value in payload.items() if key in known
+        }
+        chaos = fields.get("chaos")
+        if isinstance(chaos, dict):
+            from repro.sim.chaos import ChaosConfig
+
+            fields["chaos"] = ChaosConfig(**chaos)
+        return cls(**fields)
+
 
 def resolve_options(
     options: Optional[RunOptions],

@@ -747,10 +747,21 @@ def _run_pool(
         )
 
 
+#: Public aliases for the job service (:mod:`repro.service`): it
+#: schedules the same cell unit this engine does — ``execute_cell`` is
+#: the worker-side entry (runs one task, never raises, formats remote
+#: tracebacks in the failing process) and ``task_store_key`` is the
+#: persistent-store key the cell's result lands under, which is also
+#: the service's in-flight dedup key.
+execute_cell = _execute_task
+task_store_key = _store_key_for
+
 __all__ = [
     "Task",
     "TaskReport",
     "GridReport",
     "run_grid",
     "default_workers",
+    "execute_cell",
+    "task_store_key",
 ]

@@ -68,13 +68,14 @@ def build_l2_policy(spec: PolicyLike, config: MachineConfig):
     """Deprecated: resolve a policy spec into (fixed, controller).
 
     The spec grammar now lives in the policy registry — use
-    :func:`repro.cache.replacement.registry.parse_policy_spec`, which
-    this shim forwards to (and which also resolves specs registered by
-    user code via :func:`~repro.cache.replacement.registry.register_policy`).
+    :func:`repro.api.parse_policy_spec` (the blessed facade spelling;
+    :mod:`repro.api` is the supported import surface), which this shim
+    forwards to (and which also resolves specs registered by user code
+    via :func:`repro.api.register_policy`).
     """
     warnings.warn(
         "build_l2_policy is deprecated; use "
-        "repro.cache.replacement.registry.parse_policy_spec",
+        "repro.api.parse_policy_spec",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -24,6 +24,14 @@ result, so repeat runs are free across processes and across sessions:
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing on the same key at worst both compute it; neither ever reads a
 torn file.
+
+**Shard layout** — entries live under 256 digest-prefix shard
+directories (``<root>/<key[:2]>/<key>.json``), so many concurrent
+writers (the distributed job service fans a grid across worker hosts)
+never contend on one directory and ``--stats`` can report per-shard
+counts.  Pre-shard flat layouts migrate lazily: a read that misses the
+shard path checks the flat path and re-homes the entry in place — no
+flag day, and a store written by an old checkout keeps serving.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ import os
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.config import MachineConfig
@@ -106,6 +114,11 @@ def store_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+def shard_of(key: str) -> str:
+    """Digest-prefix shard directory name for ``key`` (2 hex chars)."""
+    return key[:2].lower()
+
+
 def result_digest(result_dict: Dict) -> str:
     """Content digest over a serialized SimResult (canonical JSON)."""
     blob = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
@@ -135,7 +148,65 @@ class ResultStore:
         self.quarantined = 0
 
     def _path(self, key: str) -> Path:
+        return self.root / shard_of(key) / ("%s.json" % key)
+
+    def _flat_path(self, key: str) -> Path:
+        """Where a pre-shard checkout would have written ``key``."""
         return self.root / ("%s.json" % key)
+
+    def _locate(self, key: str) -> Path:
+        """The on-disk path for ``key``, lazily migrating flat entries.
+
+        Reads prefer the sharded path; when only the legacy flat path
+        exists the entry is re-homed into its shard directory first
+        (atomic ``os.replace``), so old stores upgrade one read at a
+        time with no flag day.  Losing a migration race to another
+        process is fine — the entry is then already at the sharded
+        path.
+        """
+        path = self._path(key)
+        if path.exists():
+            return path
+        flat = self._flat_path(key)
+        if flat.exists():
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(flat, path)
+            except OSError:
+                if flat.exists():
+                    return flat
+        return path
+
+    def entry_paths(self) -> List[Path]:
+        """Every stored entry, sharded and legacy-flat, sorted by key."""
+        if not self.root.is_dir():
+            return []
+        paths = list(self.root.glob("*.json"))
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and child.name not in ("quarantine", "runs"):
+                paths.extend(child.glob("*.json"))
+        return sorted(paths, key=lambda p: p.name)
+
+    def shard_stats(self) -> Dict[str, object]:
+        """Entry counts by shard, plus flat/quarantine remainders."""
+        shards: Dict[str, int] = {}
+        flat = 0
+        for path in self.entry_paths():
+            if path.parent == self.root:
+                flat += 1
+            else:
+                name = path.parent.name
+                shards[name] = shards.get(name, 0) + 1
+        quarantined = (
+            sum(1 for _ in self.quarantine_dir.glob("*.json"))
+            if self.quarantine_dir.is_dir() else 0
+        )
+        return {
+            "entries": flat + sum(shards.values()),
+            "flat": flat,
+            "shards": shards,
+            "quarantined": quarantined,
+        }
 
     @property
     def quarantine_dir(self) -> Path:
@@ -161,7 +232,7 @@ class ResultStore:
         offending file is moved to ``quarantine/`` (for post-mortems)
         instead of being served or crashing the run.
         """
-        path = self._path(key)
+        path = self._locate(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -187,7 +258,7 @@ class ResultStore:
         verification and quarantine behavior, no deserialization —
         callers own the payload's shape.
         """
-        path = self._path(key)
+        path = self._locate(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -223,13 +294,15 @@ class ResultStore:
             "digest": result_digest(result_dict),
             "result": result_dict,
         }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), suffix=".tmp"
+            dir=str(path.parent), suffix=".tmp"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
-            os.replace(tmp_name, self._path(key))
+            os.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -238,23 +311,20 @@ class ResultStore:
             raise
 
     def contains(self, key: str) -> bool:
-        return self._path(key).exists()
+        return self._path(key).exists() or self._flat_path(key).exists()
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self.entry_paths())
 
     def clear(self) -> int:
         """Delete every stored result; returns the number removed."""
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for path in self.entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def gc(self, dry_run: bool = False) -> Dict[str, int]:
@@ -268,7 +338,7 @@ class ResultStore:
         """
         current = code_version()
         removed = kept = 0
-        for path in sorted(self.root.glob("*.json")):
+        for path in self.entry_paths():
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
                 stale = payload.get("code") != current
@@ -283,6 +353,11 @@ class ResultStore:
                         pass
             else:
                 kept += 1
+                if not dry_run and path.parent == self.root:
+                    # Eagerly re-home surviving flat entries: gc is the
+                    # natural "tidy the store" moment, so a full pass
+                    # finishes what lazy read-side migration started.
+                    self._locate(path.stem)
         purged = 0
         if self.quarantine_dir.is_dir():
             for path in sorted(self.quarantine_dir.glob("*.json")):
@@ -328,13 +403,18 @@ def default_store() -> Optional[ResultStore]:
 def main(argv=None) -> int:
     """``python -m repro.sim.store``: inspect and garbage-collect.
 
-    ``--stats`` (default) prints the store location and entry counts;
-    ``--gc`` prunes entries from old code versions (``--dry-run`` to
+    ``--stats`` (default) prints the store location, entry counts
+    (per shard, plus any pre-shard flat remainder), and the quarantine
+    count; ``--gc`` prunes entries from old code versions and re-homes
+    surviving flat entries into their shards (``--dry-run`` to
     preview); ``--clear`` deletes everything.
     """
     import argparse
     import sys
 
+    from repro.sim.common_cli import umbrella_pointer
+
+    umbrella_pointer("store")
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.store",
         description="Inspect and maintain the persistent result store.",
@@ -378,13 +458,22 @@ def main(argv=None) -> int:
                stats["quarantine_purged"], code_version()),
         )
         return 0
-    quarantined = (
-        sum(1 for _ in store.quarantine_dir.glob("*.json"))
-        if store.quarantine_dir.is_dir() else 0
-    )
+    stats = store.shard_stats()
     print("store: %s" % store.root)
     print("  entries: %d  quarantined: %d  code: %s"
-          % (len(store), quarantined, code_version()))
+          % (stats["entries"], stats["quarantined"], code_version()))
+    shards = stats["shards"]
+    if shards:
+        print("  shards: %d populated" % len(shards))
+        line = "  ".join(
+            "%s:%d" % (name, shards[name]) for name in sorted(shards)
+        )
+        print("    %s" % line)
+    if stats["flat"]:
+        print(
+            "  flat (pre-shard) entries: %d — migrated lazily on read, "
+            "or eagerly by --gc" % stats["flat"]
+        )
     return 0
 
 
@@ -394,6 +483,7 @@ __all__ = [
     "store_key",
     "code_version",
     "result_digest",
+    "shard_of",
 ]
 
 

@@ -404,6 +404,7 @@ def _print_runs() -> int:
 def main(argv=None) -> int:
     from repro.sim import common_cli
 
+    common_cli.umbrella_pointer("suite")
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.suite",
         description="Run a benchmark x policy matrix.",

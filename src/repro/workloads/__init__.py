@@ -62,11 +62,12 @@ def build_trace(
     Routed through the registry, so ``name`` may be any workload spec,
     not just a surrogate name.  New code should call
     :func:`build_workload`, which returns the packed column form every
-    execution path now consumes.
+    execution path now consumes — or go through :mod:`repro.api`
+    (``repro.api.parse_workload_spec``), the supported import surface.
     """
     warnings.warn(
         "repro.workloads.build_trace() is deprecated; use "
-        "build_workload(spec) (PackedTrace) or parse_workload_spec()",
+        "build_workload(spec) or repro.api.parse_workload_spec()",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -124,7 +124,7 @@ class TestStoreIntegrity:
         run_policy("lucas", "lru", scale=SCALE)
         run_policy("lucas", "lin(4)", scale=SCALE)
         store = default_store()
-        keys = [path.stem for path in sorted(store.root.glob("*.json"))]
+        keys = [path.stem for path in store.entry_paths()]
         assert len(keys) == 2
         corrupted = corrupt_store(store, fraction=1.0, seed=0)
         assert sorted(corrupted) == sorted(k + ".json" for k in keys)
@@ -140,7 +140,7 @@ class TestStoreIntegrity:
         # only bumps a result field — only the digest check can see it.
         run_policy("lucas", "lru", scale=SCALE)
         store = default_store()
-        (path,) = store.root.glob("*.json")
+        (path,) = store.entry_paths()
         payload = json.loads(path.read_text())
         assert payload["digest"]  # format v3
         corrupt_store(store, fraction=1.0, seed=0)
@@ -160,7 +160,7 @@ class TestStoreIntegrity:
         run_policy("mcf", "lru", scale=SCALE)
         store = default_store()
         # Age one entry: pretend an older checkout wrote it.
-        stale_path = sorted(store.root.glob("*.json"))[0]
+        stale_path = store.entry_paths()[0]
         payload = json.loads(stale_path.read_text())
         payload["code"] = "0" * 16
         stale_path.write_text(json.dumps(payload))

@@ -1,0 +1,524 @@
+"""Job-service tests: protocol, quotas, worker health, end to end.
+
+The tentpole guarantees locked in here:
+
+* two tenants submitting overlapping grids share executions — every
+  unique cell runs exactly once, and both receive bit-identical
+  digests that match a serial ``run_policy`` baseline;
+* quota/backpressure rejections are 429-shaped (code +
+  ``retry_after_s``) and deterministic;
+* the per-worker circuit breaker trips on consecutive failures and
+  recovers via half-open probes;
+* ``serve --resume`` replays a crashed job's journal, re-serving
+  journal-completed cells from the store;
+* the umbrella ``python -m repro`` CLI reaches every subcommand.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError, submit
+from repro.service.jobs import TenantQuotas, expand_cells, new_job_id
+from repro.service.server import ServiceConfig, serve_in_thread
+from repro.sim.chaos import ChaosConfig
+from repro.sim.options import RunOptions
+from repro.sim.parallel import task_store_key
+from repro.sim.resilience import RunJournal, WorkerHealth
+from repro.sim.runner import clear_cache, run_policy
+from repro.sim.store import result_digest
+
+SCALE = 0.05
+BENCHMARKS = ("lucas", "mcf")
+POLICIES = ("lru", "lin(4)")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memo and its own empty store."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def start_service(**overrides):
+    defaults = dict(port=0, workers=2, inline=True)
+    defaults.update(overrides)
+    return serve_in_thread(ServiceConfig(**defaults))
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "submit", "benchmarks": ["mcf"], "scale": 0.25}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == message
+
+    def test_decode_rejects_garbage(self):
+        for line in (b"not json\n", b"[1,2]\n", b"\xff\xfe\n"):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.decode(line)
+
+    def test_validate_submit_defaults(self):
+        fields = protocol.validate_submit({
+            "op": "submit",
+            "benchmarks": ["mcf", "art"],
+            "policies": ["lru"],
+        })
+        assert fields["tenant"] == "anonymous"
+        assert fields["scale"] is None
+        assert fields["benchmarks"] == ["mcf", "art"]
+
+    @pytest.mark.parametrize("message", [
+        {"policies": ["lru"]},                       # no benchmarks
+        {"benchmarks": [], "policies": ["lru"]},     # empty list
+        {"benchmarks": ["mcf"], "policies": [""]},   # blank entry
+        {"benchmarks": ["mcf"], "policies": ["lru"], "scale": -1},
+        {"benchmarks": ["mcf"], "policies": ["lru"], "scale": "big"},
+        {"benchmarks": ["mcf"], "policies": ["lru"], "tenant": ""},
+        {"benchmarks": ["mcf"], "policies": ["lru"], "options": 7},
+    ])
+    def test_validate_submit_rejects(self, message):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_submit(message)
+
+    def test_error_response_carries_retry_hint(self):
+        response = protocol.error_response(
+            "queue-full", "busy", retry_after_s=1.25
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "queue-full"
+        assert response["retry_after_s"] == 1.25
+
+
+class TestTenantQuotas:
+    def test_admit_and_release(self):
+        quotas = TenantQuotas(queue_limit=10, tenant_quota=10)
+        assert quotas.try_admit("a", 4) is None
+        assert quotas.inflight_total == 4
+        for _ in range(4):
+            quotas.release("a")
+        assert quotas.inflight_total == 0
+        assert quotas.inflight == {}
+
+    def test_queue_full_rejection(self):
+        quotas = TenantQuotas(queue_limit=3, tenant_quota=100)
+        assert quotas.try_admit("a", 3) is None
+        rejection = quotas.try_admit("b", 1)
+        assert rejection is not None
+        assert rejection.code == "queue-full"
+        assert rejection.retry_after_s > 0
+        assert quotas.rejected_queue == 1
+
+    def test_tenant_quota_rejection_is_per_tenant(self):
+        quotas = TenantQuotas(queue_limit=100, tenant_quota=2)
+        assert quotas.try_admit("noisy", 2) is None
+        rejection = quotas.try_admit("noisy", 1)
+        assert rejection is not None
+        assert rejection.code == "quota-exceeded"
+        # Another tenant is unaffected by the noisy one's quota.
+        assert quotas.try_admit("quiet", 2) is None
+
+    def test_force_bypasses_checks_but_still_accounts(self):
+        quotas = TenantQuotas(queue_limit=1, tenant_quota=1)
+        assert quotas.try_admit("a", 5, force=True) is None
+        assert quotas.inflight_total == 5
+
+    def test_retry_after_is_deterministic_and_bounded(self):
+        quotas = TenantQuotas(queue_limit=0, tenant_quota=0)
+        assert quotas.retry_after(10) == quotas.retry_after(10)
+        quotas.inflight_total = 10**6
+        assert quotas.retry_after(1) == 30.0
+
+
+class TestWorkerHealth:
+    def test_trips_after_consecutive_failures(self):
+        health = WorkerHealth(trip_threshold=3, cooldown=8)
+        for _ in range(3):
+            health.record_dispatch("w0")
+            health.record_failure("w0")
+        assert health.is_tripped("w0")
+        assert health.trips == 1
+
+    def test_success_resets_the_streak(self):
+        health = WorkerHealth(trip_threshold=3, cooldown=8)
+        for _ in range(2):
+            health.record_dispatch("w0")
+            health.record_failure("w0")
+        health.record_dispatch("w0")
+        health.record_success("w0")
+        health.record_dispatch("w0")
+        health.record_failure("w0")
+        assert not health.is_tripped("w0")
+        assert health.trips == 0
+
+    def test_pick_avoids_tripped_worker(self):
+        health = WorkerHealth(trip_threshold=2, cooldown=50)
+        for _ in range(2):
+            health.record_dispatch("w0")
+            health.record_failure("w0")
+        health.record_dispatch("w1")
+        health.record_success("w1")
+        assert health.pick(["w0", "w1"]) == "w1"
+        assert health.rank(["w0", "w1"]) == ["w1", "w0"]
+
+    def test_all_tripped_pool_yields_half_open_probe(self):
+        health = WorkerHealth(trip_threshold=1, cooldown=50)
+        health.record_dispatch("w0")
+        health.record_failure("w0")
+        health.record_dispatch("w1")
+        health.record_failure("w1")
+        # w0 tripped first, so it is the least-recently-tripped probe.
+        assert health.pick(["w0", "w1"]) == "w0"
+        assert health.probes == 1
+
+    def test_failed_probe_re_arms_the_circuit(self):
+        health = WorkerHealth(trip_threshold=1, cooldown=2)
+        health.record_dispatch("w0")
+        health.record_failure("w0")
+        # Burn the cooldown on another worker, then fail the probe.
+        for _ in range(3):
+            health.record_dispatch("w1")
+            health.record_success("w1")
+        assert not health.is_tripped("w0")
+        health.record_dispatch("w0")
+        health.record_failure("w0")
+        assert health.is_tripped("w0")
+        assert health.trips == 1  # transition counted once per episode
+
+    def test_snapshot_is_json_safe(self):
+        health = WorkerHealth()
+        health.record_dispatch("w0")
+        health.record_success("w0")
+        json.dumps(health.snapshot())
+
+
+class TestServiceEndToEnd:
+    def test_two_clients_share_cells_and_digests_match_serial(
+        self, tmp_path, monkeypatch
+    ):
+        # Seeded delays keep cells in flight long enough for the
+        # second tenant's identical grid to attach to the first's
+        # executions (any cell already finished is a store hit —
+        # either way, nothing executes twice).
+        chaos = ChaosConfig(delay_rate=1.0, delay_s=0.2, seed=7)
+        handle = start_service(
+            options=RunOptions(chaos=chaos), workers=2
+        )
+        try:
+            snapshots = {}
+
+            def run_client(name):
+                client = ServiceClient(port=handle.port, tenant=name)
+                job_id = client.submit(
+                    BENCHMARKS, POLICIES, scale=SCALE
+                )
+                snapshots[name] = client.wait(job_id)
+
+            threads = [
+                threading.Thread(target=run_client, args=(name,))
+                for name in ("alice", "bob")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = ServiceClient(port=handle.port).stats()
+        finally:
+            handle.stop()
+
+        alice, bob = snapshots["alice"], snapshots["bob"]
+        assert alice["status"] == "done"
+        assert bob["status"] == "done"
+        assert alice["digest"] == bob["digest"] is not None
+
+        unique = len(BENCHMARKS) * len(POLICIES)
+        counters = stats["counters"]
+        assert counters["cells_executed"] == unique
+        assert (
+            counters["cells_deduped"] + counters["cells_store_hits"]
+            == unique
+        )
+
+        # Bit-identical to a serial baseline computed against a second
+        # fresh store (a genuine recompute, not a shared cache read).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        clear_cache()
+        for benchmark in BENCHMARKS:
+            for policy in POLICIES:
+                result = run_policy(benchmark, policy, scale=SCALE)
+                label = "%s/%s" % (benchmark, policy)
+                assert alice["cells"][label]["digest"] == result_digest(
+                    result.to_dict()
+                ), label
+
+    def test_second_submission_hits_the_store(self):
+        handle = start_service(workers=1)
+        try:
+            client = ServiceClient(port=handle.port)
+            first = client.wait(
+                client.submit(("lucas",), ("lru",), scale=SCALE)
+            )
+            second = client.wait(
+                client.submit(("lucas",), ("lru",), scale=SCALE)
+            )
+            stats = client.stats()
+        finally:
+            handle.stop()
+        assert first["digest"] == second["digest"]
+        assert stats["counters"]["cells_executed"] == 1
+        assert stats["counters"]["cells_store_hits"] == 1
+        cell = second["cells"]["lucas/lru"]
+        assert cell["source"] == "store"
+
+    def test_quota_rejection_over_the_wire(self):
+        handle = start_service(tenant_quota=1, queue_limit=100)
+        try:
+            client = ServiceClient(port=handle.port, tenant="noisy")
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(BENCHMARKS, POLICIES, scale=SCALE)
+        finally:
+            handle.stop()
+        assert excinfo.value.code == "quota-exceeded"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_queue_backpressure_over_the_wire(self):
+        handle = start_service(queue_limit=1, tenant_quota=100)
+        try:
+            client = ServiceClient(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(BENCHMARKS, POLICIES, scale=SCALE)
+        finally:
+            handle.stop()
+        assert excinfo.value.code == "queue-full"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_submit_helper_retries_after_rejection(self):
+        # Quota admits one cell at a time: the helper's retry loop
+        # (honoring retry_after_s) must eventually land both jobs.
+        handle = start_service(tenant_quota=1, queue_limit=100)
+        try:
+            first = submit(
+                ("lucas",), ("lru",), scale=SCALE, port=handle.port
+            )
+            second = submit(
+                ("lucas",), ("lin(4)",), scale=SCALE, port=handle.port
+            )
+        finally:
+            handle.stop()
+        assert first["status"] == "done"
+        assert second["status"] == "done"
+
+    def test_unknown_job_and_unknown_op(self):
+        handle = start_service()
+        try:
+            client = ServiceClient(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("job-nope")
+            assert excinfo.value.code == "unknown-job"
+            with pytest.raises(ServiceError) as excinfo:
+                client._request({"op": "frobnicate"})
+            assert excinfo.value.code == "unknown-op"
+        finally:
+            handle.stop()
+
+    def test_ping_reports_schema(self):
+        handle = start_service()
+        try:
+            response = ServiceClient(port=handle.port).ping()
+        finally:
+            handle.stop()
+        assert response["schema"] == protocol.PROTOCOL_SCHEMA
+
+    def test_watch_streams_cell_events(self):
+        handle = start_service(workers=1)
+        try:
+            client = ServiceClient(port=handle.port)
+            job_id = client.submit(("lucas",), ("lru",), scale=SCALE)
+            events = list(client.watch(job_id))
+        finally:
+            handle.stop()
+        names = [event["event"] for event in events]
+        assert names[-1] == "job_done"
+        assert "cell_finished" in names
+
+    def test_cancel_terminates_a_pending_job(self):
+        # One slot + long seeded delays: the first job occupies the
+        # slot while the second job's distinct cell waits — cancelling
+        # the second must drop its pending cell immediately.
+        chaos = ChaosConfig(delay_rate=1.0, delay_s=0.5, seed=7)
+        handle = start_service(
+            workers=1, options=RunOptions(chaos=chaos)
+        )
+        try:
+            client = ServiceClient(port=handle.port)
+            blocker = client.submit(("lucas",), ("lru",), scale=SCALE)
+            victim = client.submit(("mcf",), ("lru",), scale=SCALE)
+            cancelled = client.cancel(victim)
+            assert cancelled["status"] == "cancelled"
+            final = client.wait(blocker)
+        finally:
+            handle.stop()
+        assert final["status"] == "done"
+
+    def test_result_includes_payloads_on_request(self):
+        handle = start_service(workers=1)
+        try:
+            client = ServiceClient(port=handle.port)
+            job_id = client.submit(("lucas",), ("lru",), scale=SCALE)
+            client.wait(job_id)
+            job = client.result(job_id, include_results=True)
+        finally:
+            handle.stop()
+        payload = job["results"]["lucas/lru"]
+        assert payload["policy_name"] == "lru"
+        assert payload["instructions"] > 0
+
+    def test_client_option_whitelist(self):
+        from repro.service.server import JobService
+
+        service = JobService(ServiceConfig())
+        merged = service._merge_options({
+            "max_retries": 7,
+            "use_cache": False,       # not client-settable
+            "queue_limit": 0,         # not a RunOptions field
+        })
+        assert merged.max_retries == 7
+        assert merged.use_cache is True
+
+
+class TestResume:
+    def test_resume_replays_an_interrupted_job(self):
+        # Forge the aftermath of a crash: a job journal with one cell
+        # recorded finished (and its result in the store) and one cell
+        # missing, with no run_finished line.
+        done_result = run_policy("lucas", "lru", scale=SCALE)
+        cells = expand_cells(BENCHMARKS[:1], POLICIES, SCALE)
+        labels = {label: task for label, task in cells}
+        done_task = labels["lucas/lru"]
+        job_id = new_job_id()
+        journal = RunJournal.create(run_id=job_id, meta={
+            "service_job": True,
+            "tenant": "crashy",
+            "benchmarks": list(BENCHMARKS[:1]),
+            "policies": list(POLICIES),
+            "scale": SCALE,
+            "options": {},
+        })
+        journal.task_finished(
+            done_task, task_store_key(done_task), cache_hit=False,
+            resumed=False, wall=0.1, worker=None, attempts=1,
+        )
+        journal.close()
+
+        handle = start_service(resume=True)
+        try:
+            client = ServiceClient(port=handle.port)
+            snapshot = client.wait(job_id)
+            stats = client.stats()
+        finally:
+            handle.stop()
+
+        assert snapshot["status"] == "done"
+        assert snapshot["tenant"] == "crashy"
+        assert stats["counters"]["jobs_resumed"] == 1
+        resumed_cell = snapshot["cells"]["lucas/lru"]
+        assert resumed_cell["source"] == "resume"
+        assert resumed_cell["digest"] == result_digest(
+            done_result.to_dict()
+        )
+        # The missing cell actually executed.
+        other = snapshot["cells"]["lucas/lin(4)"]
+        assert other["status"] == "done"
+        assert other["source"] == "executed"
+
+    def test_finished_journals_are_not_replayed(self):
+        handle = start_service(workers=1)
+        try:
+            client = ServiceClient(port=handle.port)
+            client.wait(client.submit(("lucas",), ("lru",), scale=SCALE))
+        finally:
+            handle.stop()
+        # Restart over the same store: the completed journal must not
+        # resurrect the job.
+        second = start_service(resume=True)
+        try:
+            stats = ServiceClient(port=second.port).stats()
+        finally:
+            second.stop()
+        assert stats["counters"]["jobs_resumed"] == 0
+        assert stats["jobs"]["total"] == 0
+
+
+class TestUmbrellaCLI:
+    REPO_ROOT = Path(__file__).parent.parent
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro"] + list(argv),
+            capture_output=True, text=True,
+            cwd=str(self.REPO_ROOT),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+
+    def test_bare_help_lists_every_subcommand(self):
+        out = self._run("--help")
+        assert out.returncode == 0
+        for sub in ("run", "suite", "experiments", "bench",
+                    "workloads", "store", "chaos", "serve", "submit"):
+            assert sub in out.stdout
+
+    @pytest.mark.parametrize("sub", [
+        "run", "suite", "experiments", "bench", "workloads", "store",
+        "chaos", "serve", "submit",
+    ])
+    def test_every_subcommand_answers_help(self, sub):
+        out = self._run(sub, "--help")
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip()
+        # Delegated invocations never print the legacy-pointer line.
+        assert "unified CLI spelling" not in out.stderr
+
+    def test_unknown_subcommand_fails_with_usage(self):
+        out = self._run("frobnicate")
+        assert out.returncode == 2
+        assert "unknown command" in out.stderr
+
+    def test_legacy_spelling_prints_pointer(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.workloads", "--list"],
+            capture_output=True, text=True,
+            cwd=str(self.REPO_ROOT),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+        assert out.returncode == 0
+        assert "unified CLI spelling" in out.stderr
+
+
+class TestApiFacade:
+    def test_surface_is_complete(self):
+        import repro.api as api
+
+        expected = {
+            "run_policy", "run_grid", "run_suite", "RunOptions",
+            "register_policy", "register_workload",
+            "parse_policy_spec", "parse_workload_spec",
+            "oracle_report", "submit",
+        }
+        assert set(api.__all__) == expected
+        for name in expected:
+            assert getattr(api, name) is not None
+
+    def test_unknown_attribute_names_the_surface(self):
+        import repro.api as api
+
+        with pytest.raises(AttributeError, match="run_policy"):
+            api.not_a_thing

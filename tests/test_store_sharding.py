@@ -1,0 +1,204 @@
+"""Digest-prefix-sharded store layout: migration, stats, corruption.
+
+The v4 store spreads entries across 256 two-hex-char shard
+directories (``shard_of(key) == key[:2]``) so service-scale stores
+never pile tens of thousands of files into one directory.  These
+tests lock in the compatibility story: pre-shard flat stores keep
+working and upgrade lazily (re-homed on read, eagerly on ``--gc``)
+with no flag day, and the corruption-quarantine battery holds in the
+sharded layout.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim.store import (
+    ResultStore,
+    code_version,
+    shard_of,
+    store_key,
+)
+from repro.sim.store import main as store_main
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def keys_for(*prefixes):
+    """Realistic-looking 32-hex keys with chosen shard prefixes."""
+    return ["%s%030x" % (prefix, index)
+            for index, prefix in enumerate(prefixes)]
+
+
+def flatten(store, key):
+    """Demote ``key``'s entry to the pre-shard flat layout."""
+    sharded = store.root / shard_of(key) / ("%s.json" % key)
+    flat = store.root / ("%s.json" % key)
+    os.replace(sharded, flat)
+    shard_dir = sharded.parent
+    if not any(shard_dir.iterdir()):
+        shard_dir.rmdir()
+    return flat
+
+
+class TestShardLayout:
+    def test_shard_of_is_first_two_chars_lowercased(self):
+        assert shard_of("ABcdef") == "ab"
+        assert shard_of("00ff") == "00"
+
+    def test_writes_land_in_shard_directories(self, store):
+        key = keys_for("ab")[0]
+        store.save_payload(key, {"value": 1})
+        path = store.root / "ab" / ("%s.json" % key)
+        assert path.exists()
+        assert not (store.root / ("%s.json" % key)).exists()
+
+    def test_store_key_prefix_spreads_shards(self):
+        from repro.workloads import experiment_config
+
+        config = experiment_config()
+        keys = {
+            shard_of(store_key(benchmark, "lru", 0.05, config))
+            for benchmark in ("mcf", "art", "lucas", "twolf", "ammp")
+        }
+        # sha256 keys: five benchmarks are overwhelmingly unlikely to
+        # all collide into one shard (probability ~ 256**-4).
+        assert len(keys) > 1
+
+    def test_len_clear_and_entry_paths_span_both_layouts(self, store):
+        sharded_key, flat_key = keys_for("aa", "bb")
+        store.save_payload(sharded_key, {"value": 1})
+        store.save_payload(flat_key, {"value": 2})
+        flatten(store, flat_key)
+        assert len(store) == 2
+        names = {path.stem for path in store.entry_paths()}
+        assert names == {sharded_key, flat_key}
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestFlatMigration:
+    def test_flat_entry_migrates_on_read(self, store):
+        key = keys_for("cd")[0]
+        store.save_payload(key, {"value": 42})
+        flat = flatten(store, key)
+        assert store.load_payload(key) == {"value": 42}
+        # The read re-homed the entry: flat copy gone, shard copy live.
+        assert not flat.exists()
+        assert (store.root / "cd" / ("%s.json" % key)).exists()
+        assert store.load_payload(key) == {"value": 42}
+
+    def test_contains_sees_flat_without_migrating(self, store):
+        key = keys_for("ef")[0]
+        store.save_payload(key, {"value": 1})
+        flat = flatten(store, key)
+        assert store.contains(key)
+        assert flat.exists()  # contains() is read-only
+
+    def test_gc_rehomes_current_flat_entries(self, store):
+        key = keys_for("0a")[0]
+        store.save_payload(key, {"value": 7})
+        flat = flatten(store, key)
+        stats = store.gc()
+        assert stats["kept"] == 1
+        assert stats["removed"] == 0
+        assert not flat.exists()
+        assert (store.root / "0a" / ("%s.json" % key)).exists()
+
+    def test_gc_dry_run_leaves_flat_entries_in_place(self, store):
+        key = keys_for("0b")[0]
+        store.save_payload(key, {"value": 7})
+        flat = flatten(store, key)
+        store.gc(dry_run=True)
+        assert flat.exists()
+
+    def test_gc_still_prunes_stale_code_versions(self, store):
+        current, stale = keys_for("1a", "1b")
+        store.save_payload(current, {"value": 1})
+        store.save_payload(stale, {"value": 2})
+        stale_path = store.root / shard_of(stale) / ("%s.json" % stale)
+        payload = json.loads(stale_path.read_text())
+        payload["code"] = "0" * 16
+        stale_path.write_text(json.dumps(payload))
+        stats = store.gc()
+        assert stats == {"removed": 1, "kept": 1, "quarantine_purged": 0}
+        assert store.contains(current)
+        assert not store.contains(stale)
+
+
+class TestShardedCorruption:
+    def test_corrupt_sharded_entry_is_quarantined(self, store):
+        key = keys_for("2a")[0]
+        store.save_payload(key, {"value": 1})
+        path = store.root / "2a" / ("%s.json" % key)
+        payload = json.loads(path.read_text())
+        payload["result"]["value"] = 999  # digest now stale
+        path.write_text(json.dumps(payload))
+        assert store.load_payload(key) is None
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+        assert store.quarantined == 1
+
+    def test_corrupt_flat_entry_is_quarantined_after_migration(
+        self, store
+    ):
+        key = keys_for("3b")[0]
+        store.save_payload(key, {"value": 1})
+        flat = flatten(store, key)
+        flat.write_text("{ torn json")
+        assert store.load_payload(key) is None
+        assert not flat.exists()
+        assert (store.quarantine_dir / flat.name).exists()
+
+    def test_shard_stats_counts_everything(self, store):
+        k_aa1, k_aa2, k_bb, k_flat, k_bad = keys_for(
+            "aa", "aa", "bb", "cc", "dd"
+        )
+        for key in (k_aa1, k_aa2, k_bb, k_flat, k_bad):
+            store.save_payload(key, {"value": 1})
+        flatten(store, k_flat)
+        bad = store.root / "dd" / ("%s.json" % k_bad)
+        bad.write_text("{ torn")
+        assert store.load_payload(k_bad) is None  # -> quarantine
+        stats = store.shard_stats()
+        assert stats["entries"] == 4
+        assert stats["flat"] == 1
+        assert stats["shards"] == {"aa": 2, "bb": 1}
+        assert stats["quarantined"] == 1
+
+
+class TestStoreCLI:
+    def test_stats_reports_shards_and_flat_remainder(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_UMBRELLA", "1")
+        store = ResultStore(tmp_path)
+        sharded, flat = keys_for("aa", "bb")
+        store.save_payload(sharded, {"value": 1})
+        store.save_payload(flat, {"value": 2})
+        flatten(store, flat)
+        assert store_main(["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "quarantined: 0" in out
+        assert "shards: 1 populated" in out
+        assert "aa:1" in out
+        assert "flat (pre-shard) entries: 1" in out
+
+    def test_gc_output_mentions_code_version(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_UMBRELLA", "1")
+        ResultStore(tmp_path).save_payload(
+            keys_for("aa")[0], {"value": 1}
+        )
+        assert store_main(["--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 current" in out
+        assert code_version() in out
